@@ -1,0 +1,45 @@
+// Command figures regenerates the paper's Figures 1-6 from the live
+// scheme implementations.
+//
+// Usage:
+//
+//	figures            # print all six figures
+//	figures -fig 4     # print one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmldyn/internal/figures"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (1-6); 0 prints all")
+	flag.Parse()
+	if err := run(*fig); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int) error {
+	if fig != 0 {
+		out, err := figures.Figure(fig)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	for n := 1; n <= 6; n++ {
+		out, err := figures.Figure(n)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunAllFigures(t *testing.T) {
+	if err := run(0); err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 6; n++ {
+		if err := run(n); err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+	}
+	if err := run(9); err == nil {
+		t.Fatal("figure 9 accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunVariants(t *testing.T) {
+	if err := run(true, false, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, false, true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := printAnalysis(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe run in -short mode")
+	}
+	if err := run(false, false, false, false, "deweyid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, false, false, false, "nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunRecommend(t *testing.T) {
+	for _, p := range []string{"version-control", "large-documents", "query-heavy", "general"} {
+		if err := runRecommend(p); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+	if err := runRecommend("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

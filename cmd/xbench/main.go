@@ -1,0 +1,75 @@
+// Command xbench runs the experiment suite behind EXPERIMENTS.md: the
+// paper's qualitative claims C1-C8 (DESIGN.md's per-experiment index) as
+// measured tables.
+//
+// Usage:
+//
+//	xbench              # run every experiment
+//	xbench -exp C6      # run one experiment
+//	xbench -quick       # smaller workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmldyn/internal/core"
+	"xmldyn/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (C1-C8); empty runs all")
+	quick := flag.Bool("quick", false, "smaller workloads")
+	flag.Parse()
+	if err := run(strings.ToUpper(*exp), *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick bool) error {
+	storms := 60
+	qedOps := 10000
+	growth := []int{10, 100, 1000, 5000}
+	cfg := core.DefaultProbeConfig()
+	if quick {
+		storms = 15
+		qedOps = 1500
+		growth = []int{10, 100, 1000}
+		cfg.BaseNodes, cfg.StormOps, cfg.SkewedOps, cfg.ZigzagOps, cfg.XPathNodes = 100, 100, 300, 100, 36
+	}
+	runners := []struct {
+		id string
+		fn func() (experiments.Table, error)
+	}{
+		{"C1", experiments.C1GapExhaustion},
+		{"C2", experiments.C2DeweyRelabel},
+		{"C3", experiments.C3OrdpathWaste},
+		{"C4", func() (experiments.Table, error) { return experiments.C4LSDXCollision(storms) }},
+		{"C5", func() (experiments.Table, error) { return experiments.C5QEDNoRelabel(qedOps) }},
+		{"C6", func() (experiments.Table, error) { return experiments.C6SkewedGrowth(growth) }},
+		{"C7", experiments.C7CDBSCompact},
+		{"C8", func() (experiments.Table, error) {
+			t, _, err := experiments.C8Matrix(cfg)
+			return t, err
+		}},
+	}
+	ran := 0
+	for _, r := range runners {
+		if exp != "" && r.id != exp {
+			continue
+		}
+		t, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		fmt.Println(t)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q (C1-C8)", exp)
+	}
+	return nil
+}

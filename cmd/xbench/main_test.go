@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"C2", "C3", "C7"} {
+		if err := run(exp, true); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	if err := run("C99", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Command xlabel labels an XML document with a chosen dynamic labelling
+// scheme, optionally applies an update script, and prints the labelled
+// tree, the encoding table, or query results.
+//
+// Usage:
+//
+//	xlabel -scheme qed doc.xml                      # labelled tree
+//	xlabel -scheme deweyid -table doc.xml           # encoding table
+//	xlabel -scheme ordpath -query //name doc.xml    # location path
+//	xlabel -scheme qed -update 'after //b new' doc.xml
+//	xlabel -schemes                                 # list schemes
+//
+// Update script: semicolon-separated commands, each
+//
+//	before <path> <name> | after <path> <name> | first <path> <name> |
+//	append <path> <name> | delete <path> | text <path> <value>
+//
+// where <path> is a location path selecting the reference node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmldyn"
+	"xmldyn/internal/figures"
+)
+
+func main() {
+	scheme := flag.String("scheme", "qed", "labelling scheme")
+	table := flag.Bool("table", false, "print the encoding table instead of the tree")
+	query := flag.String("query", "", "evaluate a location path and print matches")
+	script := flag.String("update", "", "update script to apply before printing")
+	xquf := flag.String("xquf", "", "XQuery-Update-style script to apply (see internal/uql)")
+	save := flag.String("save", "", "write a binary snapshot to this file after updates")
+	load := flag.String("load", "", "read the document from a binary snapshot instead of XML")
+	list := flag.Bool("schemes", false, "list available schemes")
+	stats := flag.Bool("stats", false, "print labeling statistics")
+	flag.Parse()
+
+	if *list {
+		for _, s := range xmldyn.Schemes() {
+			fmt.Println(s)
+		}
+		return
+	}
+	opts := options{
+		scheme: *scheme, table: *table, query: *query, script: *script,
+		xquf: *xquf, save: *save, load: *load, stats: *stats,
+	}
+	if err := runWith(opts, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "xlabel:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	scheme, query, script, xquf, save, load string
+	table, stats                            bool
+}
+
+// run keeps the original narrow signature for tests and simple callers.
+func run(scheme string, table bool, query, script string, stats bool, args []string) error {
+	return runWith(options{scheme: scheme, table: table, query: query, script: script, stats: stats}, args)
+}
+
+func runWith(opts options, args []string) error {
+	var s *xmldyn.Session
+	var doc *xmldyn.Document
+	var err error
+	if opts.load != "" {
+		data, ferr := os.ReadFile(opts.load)
+		if ferr != nil {
+			return ferr
+		}
+		s, err = xmldyn.Restore(data)
+		if err != nil {
+			return err
+		}
+		doc = s.Document()
+	} else {
+		switch {
+		case len(args) == 0:
+			doc = xmldyn.SampleBook() // the paper's Figure 1(a)
+		case args[0] == "-":
+			doc, err = xmldyn.Parse(os.Stdin)
+		default:
+			f, ferr := os.Open(args[0])
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			doc, err = xmldyn.Parse(f)
+		}
+		if err != nil {
+			return err
+		}
+		s, err = xmldyn.Open(doc, opts.scheme)
+		if err != nil {
+			return err
+		}
+	}
+	if opts.script != "" {
+		if err := applyScript(s, opts.script); err != nil {
+			return err
+		}
+	}
+	if opts.xquf != "" {
+		if _, err := xmldyn.ApplyUpdates(s, opts.xquf); err != nil {
+			return err
+		}
+	}
+	if opts.save != "" {
+		data, err := xmldyn.Save(s)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.save, data, 0o644); err != nil {
+			return err
+		}
+	}
+	table, query, stats := opts.table, opts.query, opts.stats
+	switch {
+	case query != "":
+		nodes, err := xmldyn.Query(s, query)
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			fmt.Printf("%s  %s\n", s.Labeling().Label(n), n.Name())
+		}
+	case table:
+		if err := xmldyn.Encode(s).WriteTable(os.Stdout); err != nil {
+			return err
+		}
+	default:
+		fmt.Print(figures.RenderLabelledTree(doc, s.Labeling(), nil))
+	}
+	if stats {
+		st := s.Labeling().Stats()
+		fmt.Printf("\nassigned %d, relabelled %d (events %d, overflow %d), mean label %.1f bits\n",
+			st.Assigned, st.Relabeled, st.RelabelEvents, st.OverflowEvents, xmldyn.MeanLabelBits(s))
+	}
+	return nil
+}
+
+func applyScript(s *xmldyn.Session, script string) error {
+	for _, cmd := range strings.Split(script, ";") {
+		cmd = strings.TrimSpace(cmd)
+		if cmd == "" {
+			continue
+		}
+		fields := strings.Fields(cmd)
+		if len(fields) < 2 {
+			return fmt.Errorf("bad update command %q", cmd)
+		}
+		op, path := fields[0], fields[1]
+		nodes, err := xmldyn.Query(s, path)
+		if err != nil {
+			return fmt.Errorf("%q: %w", cmd, err)
+		}
+		if len(nodes) == 0 {
+			return fmt.Errorf("%q: no match for %s", cmd, path)
+		}
+		ref := nodes[0]
+		arg := ""
+		if len(fields) > 2 {
+			arg = strings.Join(fields[2:], " ")
+		}
+		switch op {
+		case "before":
+			_, err = s.InsertBefore(ref, arg)
+		case "after":
+			_, err = s.InsertAfter(ref, arg)
+		case "first":
+			_, err = s.InsertFirstChild(ref, arg)
+		case "append":
+			_, err = s.AppendChild(ref, arg)
+		case "delete":
+			err = s.Delete(ref)
+		case "text":
+			err = s.SetText(ref, arg)
+		default:
+			return fmt.Errorf("unknown update op %q", op)
+		}
+		if err != nil {
+			return fmt.Errorf("%q: %w", cmd, err)
+		}
+	}
+	return nil
+}

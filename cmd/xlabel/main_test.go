@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmldyn"
+)
+
+func TestRunDefaults(t *testing.T) {
+	// No args: labels the paper's sample book.
+	if err := run("qed", false, "", "", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("deweyid", true, "", "", true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ordpath", false, "//name", "", false, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(path, []byte("<r><a/><b/></r>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("cdqs", false, "", "", false, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("cdqs", false, "", "", false, []string{filepath.Join(dir, "missing.xml")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	if err := run("nope", false, "", "", false, nil); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestSnapshotRoundTripViaFlags(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "doc.xdyn")
+	// Apply an XQUF script and save a snapshot.
+	err := runWith(options{
+		scheme: "cdqs",
+		xquf:   `insert node <isbn>9</isbn> after //author`,
+		save:   snap,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reload from the snapshot and query the inserted node.
+	if err := runWith(options{load: snap, query: "//isbn"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt and expect failure.
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWith(options{load: snap}, nil); err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+	if err := runWith(options{load: filepath.Join(dir, "missing")}, nil); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}
+
+func TestXqufFlagErrors(t *testing.T) {
+	if err := runWith(options{scheme: "qed", xquf: "garbage"}, nil); err == nil {
+		t.Fatal("bad XQUF script accepted")
+	}
+}
+
+func TestApplyScript(t *testing.T) {
+	doc := xmldyn.SampleBook()
+	s, err := xmldyn.Open(doc, "qed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := "after //author translator; text //translator J. Doe; first /book preface; append /book appendix; delete //edition"
+	if err := applyScript(s, script); err != nil {
+		t.Fatal(err)
+	}
+	if doc.FindElement("translator") == nil || doc.FindElement("preface") == nil {
+		t.Fatal("script inserts missing")
+	}
+	if doc.FindElement("edition") != nil {
+		t.Fatal("script delete missed")
+	}
+	if got := doc.FindElement("translator").Text(); got != "J. Doe" {
+		t.Fatalf("text: %q", got)
+	}
+	if err := xmldyn.VerifyOrder(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyScriptErrors(t *testing.T) {
+	doc := xmldyn.SampleBook()
+	s, err := xmldyn.Open(doc, "qed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, script := range []string{
+		"nonsense",             // too few fields
+		"frobnicate //title x", // unknown op
+		"after //missing x",    // no match
+		"after [bad path x",    // parse error
+		"before /book x",       // insert before root fails
+	} {
+		if err := applyScript(s, script); err == nil {
+			t.Errorf("script %q accepted", script)
+		}
+	}
+	// The session survives hostile scripts.
+	if err := applyScript(s, "append /book ok"); err != nil {
+		t.Fatal(err)
+	}
+}

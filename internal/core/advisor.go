@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"xmldyn/internal/labels"
+)
+
+// Requirements captures what a repository needs from its labelling
+// scheme, in the vocabulary of §5.2's worked examples: "a repository
+// that may want to record document history and enable version control
+// would select a labelling scheme supporting persistent labels.
+// Alternatively, an XML repository that is expected to consume very
+// large documents on a regular basis may consider a labelling scheme
+// that is not subject to the overflow problem."
+type Requirements struct {
+	// Require lists properties that must grade Full.
+	Require []Property
+	// Prefer lists properties that break ties (more Full grades first).
+	Prefer []Property
+	// Order, when non-nil, restricts the document-order method.
+	Order *labels.Order
+	// Encoding, when non-nil, restricts the storage representation.
+	Encoding *labels.Rep
+}
+
+// Recommendation is one advisor result.
+type Recommendation struct {
+	Scheme string
+	// Satisfied counts Full grades on the preferred properties.
+	Satisfied int
+	// FullCount is the scheme's overall Full count (the §5.2 generality
+	// measure).
+	FullCount int
+	// Why summarises the decisive grades.
+	Why string
+}
+
+// Recommend ranks the matrix rows against the requirements: schemes
+// failing any Require or restriction are excluded; survivors order by
+// preferred-property satisfaction, then overall generality, then name.
+func Recommend(rows []Assessment, req Requirements) []Recommendation {
+	var out []Recommendation
+	for _, r := range rows {
+		if req.Order != nil && r.Order != *req.Order {
+			continue
+		}
+		if req.Encoding != nil && r.Encoding != *req.Encoding {
+			continue
+		}
+		ok := true
+		for _, p := range req.Require {
+			if r.Grades[p] != Full {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		sat := 0
+		why := ""
+		for _, p := range req.Prefer {
+			if r.Grades[p] == Full {
+				sat++
+				if why != "" {
+					why += ", "
+				}
+				why += p.String()
+			}
+		}
+		if why == "" {
+			why = "meets all required properties"
+		} else {
+			why = "also full on " + why
+		}
+		out = append(out, Recommendation{
+			Scheme:    r.Scheme,
+			Satisfied: sat,
+			FullCount: r.FullCount(),
+			Why:       why,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Satisfied != out[j].Satisfied {
+			return out[i].Satisfied > out[j].Satisfied
+		}
+		if out[i].FullCount != out[j].FullCount {
+			return out[i].FullCount > out[j].FullCount
+		}
+		return out[i].Scheme < out[j].Scheme
+	})
+	return out
+}
+
+// Profile names a §5.2-style selection scenario.
+type Profile string
+
+// Built-in advisor profiles.
+const (
+	// ProfileVersionControl: "record document history and enable
+	// version control" — labels must be persistent identities.
+	ProfileVersionControl Profile = "version-control"
+	// ProfileLargeDocuments: "consume very large documents on a
+	// regular basis" — immunity to the overflow problem, compactness
+	// preferred.
+	ProfileLargeDocuments Profile = "large-documents"
+	// ProfileQueryHeavy: static data, query optimisation first — full
+	// XPath evaluations and level encoding, compact fixed labels.
+	ProfileQueryHeavy Profile = "query-heavy"
+	// ProfileGeneral: the most generic scheme (§5.2's CDQS finding).
+	ProfileGeneral Profile = "general"
+)
+
+// Profiles lists the built-in profiles.
+func Profiles() []Profile {
+	return []Profile{ProfileVersionControl, ProfileLargeDocuments, ProfileQueryHeavy, ProfileGeneral}
+}
+
+// ProfileRequirements expands a named profile.
+func ProfileRequirements(p Profile) (Requirements, error) {
+	switch p {
+	case ProfileVersionControl:
+		return Requirements{
+			Require: []Property{PersistentLabels},
+			Prefer:  []Property{OverflowFree, XPathEvaluations, CompactEncoding},
+		}, nil
+	case ProfileLargeDocuments:
+		return Requirements{
+			Require: []Property{OverflowFree},
+			Prefer:  []Property{CompactEncoding, PersistentLabels, XPathEvaluations},
+		}, nil
+	case ProfileQueryHeavy:
+		return Requirements{
+			Require: []Property{XPathEvaluations, LevelEncoding},
+			Prefer:  []Property{CompactEncoding, DivisionFree, NonRecursiveInit},
+		}, nil
+	case ProfileGeneral:
+		return Requirements{
+			Prefer: AllProperties[:],
+		}, nil
+	default:
+		return Requirements{}, fmt.Errorf("core: unknown profile %q (known: %v)", p, Profiles())
+	}
+}

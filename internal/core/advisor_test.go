@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"xmldyn/internal/labels"
+)
+
+// TestVersionControlProfile reproduces the first §5.2 worked example:
+// version control needs persistent labels, which excludes DeweyID and
+// the containment schemes and selects the persistent family.
+func TestVersionControlProfile(t *testing.T) {
+	req, err := ProfileRequirements(ProfileVersionControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := Recommend(PublishedMatrix(), req)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	allowed := map[string]bool{"ordpath": true, "improvedbinary": true, "qed": true, "cdqs": true, "vector": true}
+	for _, r := range recs {
+		if !allowed[r.Scheme] {
+			t.Errorf("non-persistent scheme recommended: %s", r.Scheme)
+		}
+	}
+	// CDQS tops the persistent family (most Full grades).
+	if recs[0].Scheme != "cdqs" {
+		t.Errorf("top recommendation: %s", recs[0].Scheme)
+	}
+}
+
+// TestLargeDocumentsProfile reproduces the second §5.2 worked example:
+// overflow-free schemes only — QED, CDQS, Vector in the published
+// matrix, with the compact ones first.
+func TestLargeDocumentsProfile(t *testing.T) {
+	req, err := ProfileRequirements(ProfileLargeDocuments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := Recommend(PublishedMatrix(), req)
+	names := map[string]bool{}
+	for _, r := range recs {
+		names[r.Scheme] = true
+	}
+	if len(recs) != 3 || !names["qed"] || !names["cdqs"] || !names["vector"] {
+		t.Fatalf("recommendations: %v", recs)
+	}
+	if recs[0].Scheme == "qed" {
+		t.Error("QED is not compact; it must not rank first")
+	}
+}
+
+// TestGeneralProfile reproduces §5.2's generality finding.
+func TestGeneralProfile(t *testing.T) {
+	req, _ := ProfileRequirements(ProfileGeneral)
+	recs := Recommend(PublishedMatrix(), req)
+	if recs[0].Scheme != "cdqs" {
+		t.Errorf("most generic: %s, want cdqs", recs[0].Scheme)
+	}
+}
+
+func TestQueryHeavyProfile(t *testing.T) {
+	req, _ := ProfileRequirements(ProfileQueryHeavy)
+	recs := Recommend(PublishedMatrix(), req)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, r := range recs {
+		row, _ := PublishedRow(r.Scheme)
+		if row.Grade(XPathEvaluations) != Full || row.Grade(LevelEncoding) != Full {
+			t.Errorf("%s lacks required query properties", r.Scheme)
+		}
+	}
+}
+
+func TestRecommendRestrictions(t *testing.T) {
+	fixed := labels.RepFixed
+	recs := Recommend(PublishedMatrix(), Requirements{Encoding: &fixed})
+	for _, r := range recs {
+		row, _ := PublishedRow(r.Scheme)
+		if row.Encoding != labels.RepFixed {
+			t.Errorf("%s is not fixed encoding", r.Scheme)
+		}
+	}
+	hybrid := labels.OrderHybrid
+	recs = Recommend(PublishedMatrix(), Requirements{Order: &hybrid, Require: []Property{PersistentLabels}})
+	for _, r := range recs {
+		row, _ := PublishedRow(r.Scheme)
+		if row.Order != labels.OrderHybrid {
+			t.Errorf("%s is not hybrid order", r.Scheme)
+		}
+	}
+}
+
+func TestUnknownProfile(t *testing.T) {
+	if _, err := ProfileRequirements(Profile("nope")); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if len(Profiles()) != 4 {
+		t.Errorf("profiles: %v", Profiles())
+	}
+}
+
+func TestRecommendWhyText(t *testing.T) {
+	req, _ := ProfileRequirements(ProfileVersionControl)
+	recs := Recommend(PublishedMatrix(), req)
+	for _, r := range recs {
+		if r.Why == "" {
+			t.Errorf("%s has no rationale", r.Scheme)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import "xmldyn/internal/labels"
+
+// PublishedMatrix returns the paper's Figure 7 verbatim: twelve schemes,
+// their document-order method, encoding representation and the eight
+// graded properties in column order (Persistent Labels, XPath Eval.,
+// Level Enc., Overflow Prob., Orthogonal, Compact Enc., Division Comp.,
+// Recursion Alg.).
+func PublishedMatrix() []Assessment {
+	row := func(name string, order labels.Order, rep labels.Rep, g [8]Compliance) Assessment {
+		grades := make(map[Property]Compliance, 8)
+		for i, p := range AllProperties {
+			grades[p] = g[i]
+		}
+		return Assessment{Scheme: name, Order: order, Encoding: rep, Grades: grades}
+	}
+	return []Assessment{
+		row("xpath-accelerator", labels.OrderGlobal, labels.RepFixed,
+			[8]Compliance{None, Partial, Full, None, None, Full, Full, Full}),
+		row("xrel", labels.OrderGlobal, labels.RepFixed,
+			[8]Compliance{None, Partial, Full, None, None, Full, Full, Full}),
+		row("sector", labels.OrderHybrid, labels.RepFixed,
+			[8]Compliance{None, Partial, None, None, None, Partial, Full, None}),
+		row("qrs", labels.OrderGlobal, labels.RepFixed,
+			[8]Compliance{None, Partial, None, None, None, Partial, Full, Full}),
+		row("deweyid", labels.OrderHybrid, labels.RepVariable,
+			[8]Compliance{None, Full, Full, None, None, None, Full, Full}),
+		row("ordpath", labels.OrderHybrid, labels.RepVariable,
+			[8]Compliance{Full, Full, Full, None, None, None, None, Full}),
+		row("dln", labels.OrderHybrid, labels.RepFixed,
+			[8]Compliance{None, Full, Full, None, None, None, Full, Full}),
+		row("lsdx", labels.OrderHybrid, labels.RepVariable,
+			[8]Compliance{None, Full, Full, None, None, None, Full, Full}),
+		row("improvedbinary", labels.OrderHybrid, labels.RepVariable,
+			[8]Compliance{Full, Full, Full, None, None, None, None, None}),
+		row("qed", labels.OrderHybrid, labels.RepVariable,
+			[8]Compliance{Full, Full, Full, Full, Full, None, None, None}),
+		row("cdqs", labels.OrderHybrid, labels.RepVariable,
+			[8]Compliance{Full, Full, Full, Full, Full, Full, None, None}),
+		row("vector", labels.OrderHybrid, labels.RepVariable,
+			[8]Compliance{Full, Partial, None, Full, Full, Full, Full, None}),
+	}
+}
+
+// PublishedRow returns the Figure 7 row for a scheme name, if present.
+func PublishedRow(name string) (Assessment, bool) {
+	for _, a := range PublishedMatrix() {
+		if a.Scheme == name {
+			return a, true
+		}
+	}
+	return Assessment{}, false
+}

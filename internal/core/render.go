@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMatrix writes the evaluation matrix in the layout of Figure 7.
+func RenderMatrix(w io.Writer, rows []Assessment) error {
+	nameW := len("Labelling Scheme")
+	for _, r := range rows {
+		if len(r.Scheme) > nameW {
+			nameW = len(r.Scheme)
+		}
+	}
+	header := fmt.Sprintf("%-*s  %-6s  %-8s", nameW, "Labelling Scheme", "Order", "Enc.")
+	for _, p := range AllProperties {
+		header += fmt.Sprintf("  %s", p.Short())
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		line := fmt.Sprintf("%-*s  %-6s  %-8s", nameW, r.Scheme, r.Order, r.Encoding)
+		for _, p := range AllProperties {
+			line += fmt.Sprintf("  %2s", r.Grades[p])
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CellDiff is one disagreement between the published and measured
+// matrices.
+type CellDiff struct {
+	Scheme    string
+	Column    string // property name, "Order" or "Encoding"
+	Published string
+	Measured  string
+}
+
+// DiffMatrices compares measured rows against the published Figure 7,
+// cell by cell, returning the disagreements and the total number of
+// compared cells. Measured-only schemes are skipped.
+func DiffMatrices(published, measured []Assessment) (diffs []CellDiff, cells int) {
+	pub := make(map[string]Assessment, len(published))
+	for _, p := range published {
+		pub[p.Scheme] = p
+	}
+	for _, m := range measured {
+		p, ok := pub[m.Scheme]
+		if !ok {
+			continue
+		}
+		cells++
+		if p.Order != m.Order {
+			diffs = append(diffs, CellDiff{m.Scheme, "Order", p.Order.String(), m.Order.String()})
+		}
+		cells++
+		if p.Encoding != m.Encoding {
+			diffs = append(diffs, CellDiff{m.Scheme, "Encoding", p.Encoding.String(), m.Encoding.String()})
+		}
+		for _, prop := range AllProperties {
+			cells++
+			if p.Grades[prop] != m.Grades[prop] {
+				diffs = append(diffs, CellDiff{m.Scheme, prop.String(), p.Grades[prop].String(), m.Grades[prop].String()})
+			}
+		}
+	}
+	return diffs, cells
+}
+
+// Analyze reproduces the §5.2 findings over a matrix: whether any two
+// schemes share the same property signature, and which scheme satisfies
+// the most properties.
+type Analysis struct {
+	DuplicateSignatures [][2]string
+	MostGeneric         string
+	MostGenericFull     int
+}
+
+// AnalyzeMatrix computes the §5.2 analysis.
+func AnalyzeMatrix(rows []Assessment) Analysis {
+	var a Analysis
+	seen := make(map[string]string)
+	for _, r := range rows {
+		sig := r.Signature()
+		if other, dup := seen[sig]; dup {
+			a.DuplicateSignatures = append(a.DuplicateSignatures, [2]string{other, r.Scheme})
+		} else {
+			seen[sig] = r.Scheme
+		}
+		if fc := r.FullCount(); fc > a.MostGenericFull {
+			a.MostGenericFull = fc
+			a.MostGeneric = r.Scheme
+		}
+	}
+	return a
+}
+
+// RenderReport writes the measurements behind one assessment.
+func RenderReport(w io.Writer, r *Report) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scheme %s\n", r.Scheme)
+	fmt.Fprintf(&sb, "  order preserved: %v", r.OrderPreserved)
+	if r.OrderNote != "" {
+		fmt.Fprintf(&sb, " (%s)", r.OrderNote)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "  persistence: %d labels changed, %d relabelled (events %d, overflow %d)\n",
+		r.PersistenceChanged, r.Relabeled, r.RelabelEvents, r.OverflowEvents)
+	fmt.Fprintf(&sb, "  xpath: AD %v/%v PC %v/%v Sib %v/%v Level %v/%v\n",
+		r.SupportsAD, r.ADCorrect, r.SupportsPC, r.PCCorrect,
+		r.SupportsSib, r.SibCorrect, r.LevelSupported, r.LevelCorrect)
+	fmt.Fprintf(&sb, "  orthogonal mounting ok: %v\n", r.OrthogonalOK)
+	fmt.Fprintf(&sb, "  bits: bulk %.1f random %.1f uniform %.1f skewed %.1f growth %.2fx\n",
+		r.BulkMeanBits, r.RandomMeanBits, r.UniformMeanBits, r.SkewedMeanBits, r.GrowthRatio)
+	fmt.Fprintf(&sb, "  divisions %d, recursion depth %d (%s)\n", r.Divisions, r.MaxRecursion, r.TraitsSource)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

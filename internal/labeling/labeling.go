@@ -1,0 +1,140 @@
+// Package labeling defines the contract between a dynamic labelling
+// scheme and the rest of the system: building labels for a document,
+// maintaining them under structural updates, and answering the XPath
+// relationship queries of the paper's §5.1 "XPath Evaluations" property
+// from label values alone.
+package labeling
+
+import (
+	"fmt"
+
+	"xmldyn/internal/xmltree"
+)
+
+// Label is a scheme-specific node label. Bits reports the storage cost
+// in bits including any framing the scheme requires; String is the
+// human-readable form printed in the paper's figures (e.g. "1.5.2.1").
+type Label interface {
+	fmt.Stringer
+	Bits() int
+}
+
+// Interface is a labelling scheme instance bound to one document.
+//
+// Build assigns initial labels to every labellable node. NodeInserted is
+// invoked by the update layer after a new element or attribute has been
+// attached to the tree (for subtree insertions, once per labellable node
+// in document order); the scheme assigns a label and may relabel other
+// nodes, accounting for them in Stats. NodeDeleting is invoked before a
+// subtree is detached.
+type Interface interface {
+	Name() string
+	Build(doc *xmltree.Document) error
+	// Label returns the label of n, or nil if n is not labelled.
+	Label(n *xmltree.Node) Label
+	// Compare orders two labels in document order.
+	Compare(a, b Label) int
+	NodeInserted(n *xmltree.Node) error
+	NodeDeleting(n *xmltree.Node)
+	Stats() *Stats
+}
+
+// Stats instruments a labeling for the evaluation framework. Relabeled is
+// the central number for the Persistent-Labels property: a fully
+// persistent scheme keeps it at zero no matter the update stream.
+type Stats struct {
+	Assigned       int64 // labels assigned to new nodes (initial build + inserts)
+	Relabeled      int64 // pre-existing labels changed by an update
+	RelabelEvents  int64 // update operations that triggered any relabelling
+	OverflowEvents int64 // capacity exhaustions (the §4 overflow problem)
+}
+
+// Reset zeroes the counters (used between probe phases).
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Optional capabilities, each answering from labels alone. A scheme that
+// implements none of them still supports document ordering via Compare.
+
+// AncestorByLabel evaluates the ancestor-descendant relationship.
+type AncestorByLabel interface {
+	// IsAncestor reports whether the node labelled a is a proper
+	// ancestor of the node labelled d.
+	IsAncestor(a, d Label) bool
+}
+
+// ParentByLabel evaluates the parent-child relationship.
+type ParentByLabel interface {
+	IsParent(p, c Label) bool
+}
+
+// SiblingByLabel evaluates the sibling relationship.
+type SiblingByLabel interface {
+	IsSibling(a, b Label) bool
+}
+
+// LevelByLabel decodes the nesting depth from a label (root element is
+// level 0), the paper's Level-Encoding property.
+type LevelByLabel interface {
+	Level(l Label) (int, bool)
+}
+
+// Factory creates a fresh, unbound labeling instance. Scheme registries
+// hand these to the evaluation framework so each probe gets an isolated
+// instance.
+type Factory func() Interface
+
+// TotalBits sums the label storage cost over all labelled nodes of doc.
+func TotalBits(lab Interface, doc *xmltree.Document) int {
+	total := 0
+	doc.WalkLabelled(func(n *xmltree.Node) bool {
+		if l := lab.Label(n); l != nil {
+			total += l.Bits()
+		}
+		return true
+	})
+	return total
+}
+
+// MeanBits returns the average label size in bits, or 0 for an empty
+// document.
+func MeanBits(lab Interface, doc *xmltree.Document) float64 {
+	n := doc.LabelledCount()
+	if n == 0 {
+		return 0
+	}
+	return float64(TotalBits(lab, doc)) / float64(n)
+}
+
+// Snapshot captures the current rendered label of every labelled node,
+// keyed by node. The persistence probe compares snapshots across update
+// storms.
+func Snapshot(lab Interface, doc *xmltree.Document) map[*xmltree.Node]string {
+	snap := make(map[*xmltree.Node]string)
+	doc.WalkLabelled(func(n *xmltree.Node) bool {
+		if l := lab.Label(n); l != nil {
+			snap[n] = l.String()
+		}
+		return true
+	})
+	return snap
+}
+
+// VerifyOrder checks that Compare agrees with the structural document
+// order for every adjacent pair of labelled nodes, returning the first
+// offending node or nil. It is the core correctness invariant every
+// scheme must preserve under updates (paper §1: "this order must be
+// maintained in the presence of updates").
+func VerifyOrder(lab Interface, doc *xmltree.Document) error {
+	nodes := doc.LabelledNodes()
+	for i := 1; i < len(nodes); i++ {
+		la, lb := lab.Label(nodes[i-1]), lab.Label(nodes[i])
+		if la == nil || lb == nil {
+			return fmt.Errorf("labeling %s: unlabelled node %q", lab.Name(), nodes[i-1].Name())
+		}
+		if lab.Compare(la, lb) >= 0 {
+			return fmt.Errorf("labeling %s: document order violated: %s (%s) !< %s (%s)",
+				lab.Name(), nodes[i-1].Name(), la, nodes[i].Name(), lb)
+		}
+	}
+	return nil
+}

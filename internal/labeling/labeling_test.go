@@ -1,0 +1,71 @@
+package labeling_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/schemes/dewey"
+	"xmldyn/internal/xmltree"
+)
+
+func TestHelpers(t *testing.T) {
+	doc := xmltree.SampleBook()
+	lab := dewey.New()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := labeling.TotalBits(lab, doc); got <= 0 {
+		t.Errorf("total bits: %d", got)
+	}
+	mean := labeling.MeanBits(lab, doc)
+	if mean <= 0 || mean != float64(labeling.TotalBits(lab, doc))/10 {
+		t.Errorf("mean bits: %f", mean)
+	}
+	snap := labeling.Snapshot(lab, doc)
+	if len(snap) != 10 {
+		t.Errorf("snapshot size: %d", len(snap))
+	}
+	if snap[doc.FindElement("book")] != "1" {
+		t.Errorf("book label: %s", snap[doc.FindElement("book")])
+	}
+	if err := labeling.VerifyOrder(lab, doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBitsEmptyDocument(t *testing.T) {
+	doc := xmltree.NewDocument()
+	lab := dewey.New()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := labeling.MeanBits(lab, doc); got != 0 {
+		t.Errorf("empty doc mean: %f", got)
+	}
+}
+
+func TestVerifyOrderReportsUnlabelled(t *testing.T) {
+	doc := xmltree.SampleBook()
+	lab := dewey.New()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	// Attach a node behind the labeling's back: VerifyOrder must name
+	// the problem instead of panicking.
+	if err := doc.Root().AppendChild(xmltree.NewElement("stowaway")); err != nil {
+		t.Fatal(err)
+	}
+	err := labeling.VerifyOrder(lab, doc)
+	if err == nil || !strings.Contains(err.Error(), "unlabelled") {
+		t.Fatalf("VerifyOrder: %v", err)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	st := &labeling.Stats{Assigned: 5, Relabeled: 3, RelabelEvents: 1, OverflowEvents: 2}
+	st.Reset()
+	if *st != (labeling.Stats{}) {
+		t.Errorf("reset: %+v", *st)
+	}
+}

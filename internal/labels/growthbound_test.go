@@ -1,0 +1,114 @@
+package labels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQEDInsertionGrowthBound: one insertion never grows the code by
+// more than one digit beyond the longer neighbour — the bound behind
+// QED's "1 digit per insertion" worst case in C6.
+func TestQEDInsertionGrowthBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		codes := []QString{"12", "2", "3"}
+		for i := 0; i < 200; i++ {
+			k := rng.Intn(len(codes) + 1)
+			var l, r QString
+			if k > 0 {
+				l = codes[k-1]
+			}
+			if k < len(codes) {
+				r = codes[k]
+			}
+			m, err := BetweenQStrings(l, r)
+			if err != nil {
+				return false
+			}
+			bound := len(l)
+			if len(r) > bound {
+				bound = len(r)
+			}
+			if len(m) > bound+1 {
+				return false
+			}
+			codes = append(codes, "")
+			copy(codes[k+1:], codes[k:])
+			codes[k] = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryInsertionGrowthBound: the ImprovedBinary/CDBS rule has the
+// same +1 bound in bits.
+func TestBinaryInsertionGrowthBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		codes := []BitString{"01", "011", "1"}
+		for i := 0; i < 200; i++ {
+			k := rng.Intn(len(codes) + 1)
+			var l, r BitString
+			if k > 0 {
+				l = codes[k-1]
+			}
+			if k < len(codes) {
+				r = codes[k]
+			}
+			m, err := BetweenBitStrings(l, r)
+			if err != nil {
+				return false
+			}
+			bound := len(l)
+			if len(r) > bound {
+				bound = len(r)
+			}
+			if len(m) > bound+1 {
+				return false
+			}
+			codes = append(codes, "")
+			copy(codes[k+1:], codes[k:])
+			codes[k] = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactAssignLengthBound: CDBS bulk codes never exceed
+// ceil(log2(n+1)) bits; CDQS bulk codes never exceed the ternary
+// analogue — the compactness guarantees behind C7.
+func TestCompactAssignLengthBound(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 8, 100, 1000, 4095} {
+		k := 0
+		for (1 << k) < n+1 {
+			k++
+		}
+		for _, c := range AssignCompactBitStrings(n) {
+			if len(c) > k {
+				t.Fatalf("n=%d: code %q longer than %d bits", n, c, k)
+			}
+		}
+	}
+	for _, n := range []int{1, 2, 8, 26, 100, 1000} {
+		// 2*(3^(l-1)) codes of length l; cumulative count up to length
+		// L is 3^L - 1.
+		l := 0
+		p := 1
+		for p-1 < n {
+			p *= 3
+			l++
+		}
+		for _, c := range AssignCompactQStrings(n) {
+			if len(c) > l {
+				t.Fatalf("n=%d: code %q longer than %d digits", n, c, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package labels
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidQString(t *testing.T) {
+	if !ValidQString("123") || !ValidQString("") {
+		t.Fatal("valid rejected")
+	}
+	if ValidQString("0") || ValidQString("4") || ValidQString("a") {
+		t.Fatal("invalid accepted")
+	}
+}
+
+func TestMustQStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustQString("40")
+}
+
+func TestQStringBits(t *testing.T) {
+	// Two bits per digit plus the 2-bit separator (paper §4).
+	if MustQString("123").Bits() != 8 {
+		t.Fatalf("bits: %d", MustQString("123").Bits())
+	}
+}
+
+func TestBetweenQStringsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	codes := []QString{"2"}
+	for i := 0; i < 4000; i++ {
+		k := rng.Intn(len(codes) + 1)
+		var l, r QString
+		if k > 0 {
+			l = codes[k-1]
+		}
+		if k < len(codes) {
+			r = codes[k]
+		}
+		m, err := BetweenQStrings(l, r)
+		if err != nil {
+			t.Fatalf("step %d between %q %q: %v", i, l, r, err)
+		}
+		if !m.EndsInTwoOrThree() {
+			t.Fatalf("step %d: %q violates the QED terminal-digit invariant", i, m)
+		}
+		if !ValidQString(string(m)) {
+			t.Fatalf("step %d: invalid digits in %q", i, m)
+		}
+		if l != "" && CompareQStrings(l, m) >= 0 {
+			t.Fatalf("step %d: %q not > %q", i, m, l)
+		}
+		if r != "" && CompareQStrings(m, r) >= 0 {
+			t.Fatalf("step %d: %q not < %q", i, m, r)
+		}
+		codes = append(codes, "")
+		copy(codes[k+1:], codes[k:])
+		codes[k] = m
+	}
+	if !sort.SliceIsSorted(codes, func(i, j int) bool {
+		return CompareQStrings(codes[i], codes[j]) < 0
+	}) {
+		t.Fatal("sequence not sorted after insertion storm")
+	}
+}
+
+// TestBetweenQStringsEqualLengthLastDigit is the regression test for the
+// equal-length case where the codes differ only at the final digit.
+func TestBetweenQStringsEqualLengthLastDigit(t *testing.T) {
+	m, err := BetweenQStrings("2", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CompareQStrings("2", m) >= 0 || CompareQStrings(m, "3") >= 0 {
+		t.Fatalf("between 2 and 3: %q not strictly between", m)
+	}
+	m, err = BetweenQStrings("112", "113")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CompareQStrings("112", m) >= 0 || CompareQStrings(m, "113") >= 0 {
+		t.Fatalf("between 112 and 113: %q", m)
+	}
+}
+
+func TestBetweenQStringsEnds(t *testing.T) {
+	// After last: "...2" -> "...3", "...3" -> append 2.
+	m, _ := BetweenQStrings("2", "")
+	if m != "3" {
+		t.Errorf("after 2: %q", m)
+	}
+	m, _ = BetweenQStrings("3", "")
+	if m != "32" {
+		t.Errorf("after 3: %q", m)
+	}
+	// Before first: "...3" -> "...2", "...2" -> last 2 becomes "12".
+	m, _ = BetweenQStrings("", "3")
+	if m != "2" {
+		t.Errorf("before 3: %q", m)
+	}
+	m, _ = BetweenQStrings("", "2")
+	if m != "12" {
+		t.Errorf("before 2: %q", m)
+	}
+	m, _ = BetweenQStrings("", "22")
+	if m != "212" {
+		t.Errorf("before 22: %q", m)
+	}
+}
+
+func TestBetweenQStringsErrors(t *testing.T) {
+	if _, err := BetweenQStrings("1", "2"); !errors.Is(err, ErrBadCode) {
+		t.Errorf("left ending in 1: %v", err)
+	}
+	if _, err := BetweenQStrings("2", "21"); !errors.Is(err, ErrBadCode) {
+		t.Errorf("right ending in 1: %v", err)
+	}
+	if _, err := BetweenQStrings("3", "2"); !errors.Is(err, ErrBadCode) {
+		t.Errorf("out of order: %v", err)
+	}
+}
+
+func TestAssignCompactQStrings(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 8, 9, 26, 27, 100} {
+		codes := AssignCompactQStrings(n)
+		if len(codes) != n {
+			t.Fatalf("n=%d: %d codes", n, len(codes))
+		}
+		for i, c := range codes {
+			if !c.EndsInTwoOrThree() {
+				t.Fatalf("n=%d code %d: %q terminal digit", n, i, c)
+			}
+			if i > 0 && CompareQStrings(codes[i-1], c) >= 0 {
+				t.Fatalf("n=%d: order violated at %d: %q >= %q", n, i, codes[i-1], c)
+			}
+		}
+	}
+}
+
+func TestAssignThirdsQStrings(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 9, 18, 100} {
+		var depth int
+		codes, err := AssignThirdsQStrings(n, &depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(codes) != n {
+			t.Fatalf("n=%d: %d codes", n, len(codes))
+		}
+		for i, c := range codes {
+			if c == "" {
+				t.Fatalf("n=%d: position %d unassigned", n, i)
+			}
+			if !c.EndsInTwoOrThree() {
+				t.Fatalf("n=%d code %d: %q terminal digit", n, i, c)
+			}
+			if i > 0 && CompareQStrings(codes[i-1], c) >= 0 {
+				t.Fatalf("n=%d: order violated at %d: %q >= %q", n, i, codes[i-1], c)
+			}
+		}
+		if n >= 4 && depth < 2 {
+			t.Fatalf("n=%d: expected recursive depth >= 2, got %d", n, depth)
+		}
+	}
+}
+
+func TestAssignThirdsVsCompactSizes(t *testing.T) {
+	// CDQS's claim is compactness: its bulk codes must never be longer
+	// on average than QED's recursive-thirds codes.
+	for _, n := range []int{10, 100, 1000} {
+		qed, err := AssignThirdsQStrings(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdqs := AssignCompactQStrings(n)
+		sum := func(cs []QString) int {
+			total := 0
+			for _, c := range cs {
+				total += len(c)
+			}
+			return total
+		}
+		if sum(cdqs) > sum(qed) {
+			t.Fatalf("n=%d: CDQS total digits %d > QED %d", n, sum(cdqs), sum(qed))
+		}
+	}
+}
+
+func TestQStreamRoundTrip(t *testing.T) {
+	cases := [][]QString{
+		nil,
+		{"2"},
+		{"112", "12", "122", "2", "3"},
+		AssignCompactQStrings(50),
+	}
+	for _, codes := range cases {
+		stream := EncodeQStream(codes)
+		got, err := DecodeQStream(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(codes) == 0 {
+			// nil round trips to a single empty code by construction;
+			// accept nil or one empty code for the degenerate case.
+			if len(got) > 1 || (len(got) == 1 && got[0] != "") {
+				t.Fatalf("empty stream: %v", got)
+			}
+			continue
+		}
+		if len(got) != len(codes) {
+			t.Fatalf("round trip length: %d vs %d", len(got), len(codes))
+		}
+		for i := range codes {
+			if got[i] != codes[i] {
+				t.Fatalf("code %d: %q vs %q", i, got[i], codes[i])
+			}
+		}
+	}
+}
+
+func TestQStreamErrors(t *testing.T) {
+	if _, err := DecodeQStream([]byte{1}); !errors.Is(err, ErrBadCode) {
+		t.Errorf("short stream: %v", err)
+	}
+	if _, err := DecodeQStream([]byte{0, 0, 1, 0, 0xFF}); !errors.Is(err, ErrBadCode) {
+		t.Errorf("truncated stream: %v", err)
+	}
+}
+
+func TestQStreamSeparatorProperty(t *testing.T) {
+	// Property: any ascending code sequence survives the separator
+	// encoding (testing/quick over random storm prefixes).
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		codes := []QString{"2"}
+		for i := 0; i < n; i++ {
+			k := rng.Intn(len(codes) + 1)
+			var l, r QString
+			if k > 0 {
+				l = codes[k-1]
+			}
+			if k < len(codes) {
+				r = codes[k]
+			}
+			m, err := BetweenQStrings(l, r)
+			if err != nil {
+				return false
+			}
+			codes = append(codes, "")
+			copy(codes[k+1:], codes[k:])
+			codes[k] = m
+		}
+		got, err := DecodeQStream(EncodeQStream(codes))
+		if err != nil || len(got) != len(codes) {
+			return false
+		}
+		for i := range codes {
+			if got[i] != codes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

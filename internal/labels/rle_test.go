@@ -1,0 +1,103 @@
+package labels
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestCompressRunsPaperExample verifies the Com-D worked example from
+// §3.1.2: "aaaaabcbcbcdddde" -> "5a3(bc)4de".
+func TestCompressRunsPaperExample(t *testing.T) {
+	got := CompressRuns("aaaaabcbcbcdddde")
+	if got != "5a3(bc)4de" {
+		t.Fatalf("got %q, want %q", got, "5a3(bc)4de")
+	}
+	back, err := DecompressRuns(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != "aaaaabcbcbcdddde" {
+		t.Fatalf("round trip: %q", back)
+	}
+}
+
+func TestCompressRunsNoGain(t *testing.T) {
+	// Strings with no compressible runs come back unchanged.
+	for _, s := range []string{"", "a", "ab", "abc", "aab"} {
+		if got := CompressRuns(s); got != s {
+			t.Errorf("CompressRuns(%q) = %q", s, got)
+		}
+	}
+}
+
+func TestCompressRunsLongRuns(t *testing.T) {
+	in := strings.Repeat("z", 100)
+	got := CompressRuns(in)
+	if got != "100z" {
+		t.Fatalf("long run: %q", got)
+	}
+	back, err := DecompressRuns(got)
+	if err != nil || back != in {
+		t.Fatalf("round trip: %v %q", err, back)
+	}
+}
+
+func TestCompressRunsGroupChoice(t *testing.T) {
+	in := "abcabcabcabc"
+	got := CompressRuns(in)
+	back, err := DecompressRuns(got)
+	if err != nil || back != in {
+		t.Fatalf("round trip failed: %q -> %q (%v)", in, got, err)
+	}
+	if len(got) >= len(in) {
+		t.Fatalf("no compression achieved: %q", got)
+	}
+}
+
+func TestDecompressRunsErrors(t *testing.T) {
+	for _, s := range []string{"5", "3(ab", "0a"} {
+		if _, err := DecompressRuns(s); err == nil {
+			t.Errorf("DecompressRuns(%q): expected error", s)
+		}
+	}
+}
+
+func TestCompressRunsRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Generate letter strings biased towards runs, like LSDX labels
+		// under skewed insertion.
+		var sb strings.Builder
+		letters := "abcz"
+		for i := 0; i < int(n); i++ {
+			c := letters[rng.Intn(len(letters))]
+			rep := 1 + rng.Intn(6)
+			for j := 0; j < rep; j++ {
+				sb.WriteByte(c)
+			}
+		}
+		in := sb.String()
+		back, err := DecompressRuns(CompressRuns(in))
+		return err == nil && back == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressRunsNeverLonger(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < 40; i++ {
+			sb.WriteByte(byte('a' + rng.Intn(3)))
+		}
+		in := sb.String()
+		return len(CompressRuns(in)) <= len(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package labels
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUTF8StyleRoundTrip(t *testing.T) {
+	cases := []uint32{0, 1, 127, 128, 2047, 2048, 65535, 65536, MaxUTF8Value}
+	for _, v := range cases {
+		b, err := EncodeUTF8Style(v)
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		got, n, err := DecodeUTF8Style(b)
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		if got != v || n != len(b) {
+			t.Fatalf("%d: got %d (consumed %d of %d)", v, got, n, len(b))
+		}
+	}
+}
+
+func TestUTF8StyleSizes(t *testing.T) {
+	sizes := []struct {
+		v    uint32
+		want int
+	}{
+		{0, 1}, {127, 1}, {128, 2}, {2047, 2}, {2048, 3}, {65535, 3}, {65536, 4}, {MaxUTF8Value, 4},
+	}
+	for _, s := range sizes {
+		b, err := EncodeUTF8Style(s.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != s.want {
+			t.Errorf("%d: %d bytes, want %d", s.v, len(b), s.want)
+		}
+	}
+}
+
+// TestUTF8StyleCeiling reproduces the paper's §4 critique: the codec
+// fails past 2^21 - 1.
+func TestUTF8StyleCeiling(t *testing.T) {
+	if _, err := EncodeUTF8Style(MaxUTF8Value + 1); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+	if _, err := UTF8StyleBits(1 << 22); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("bits past ceiling: %v", err)
+	}
+	if bits, err := UTF8StyleBits(100); err != nil || bits != 8 {
+		t.Fatalf("bits(100) = %d, %v", bits, err)
+	}
+}
+
+func TestUTF8StyleQuickRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		v %= MaxUTF8Value + 1
+		b, err := EncodeUTF8Style(v)
+		if err != nil {
+			return false
+		}
+		got, _, err := DecodeUTF8Style(b)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeUTF8StyleErrors(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0x80},       // bare continuation byte
+		{0xC0},       // truncated 2-byte
+		{0xE0, 0x80}, // truncated 3-byte
+		{0xC0, 0x00}, // invalid continuation
+		{0xFF},       // invalid lead
+	}
+	for _, c := range cases {
+		if _, _, err := DecodeUTF8Style(c); !errors.Is(err, ErrBadCode) {
+			t.Errorf("%v: want ErrBadCode, got %v", c, err)
+		}
+	}
+}
+
+func TestLEB128RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		got, n, err := DecodeLEB128(EncodeLEB128(v))
+		return err == nil && got == v && n == len(EncodeLEB128(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// LEB128 has no ceiling: values past the UTF-8 limit encode fine.
+	big := uint64(1) << 40
+	got, _, err := DecodeLEB128(EncodeLEB128(big))
+	if err != nil || got != big {
+		t.Fatalf("big value: %d, %v", got, err)
+	}
+}
+
+func TestLEB128Errors(t *testing.T) {
+	if _, _, err := DecodeLEB128(nil); !errors.Is(err, ErrBadCode) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, _, err := DecodeLEB128([]byte{0x80, 0x80}); !errors.Is(err, ErrBadCode) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestRepOrderStrings(t *testing.T) {
+	if RepFixed.String() != "Fixed" || RepVariable.String() != "Variable" {
+		t.Fatal("Rep strings")
+	}
+	if OrderGlobal.String() != "Global" || OrderLocal.String() != "Local" || OrderHybrid.String() != "Hybrid" {
+		t.Fatal("Order strings")
+	}
+}

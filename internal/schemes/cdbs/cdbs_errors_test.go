@@ -1,0 +1,49 @@
+package cdbs
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/labels"
+)
+
+func TestAlgebraMetadata(t *testing.T) {
+	a := NewAlgebra()
+	if a.Name() != "cdbs" {
+		t.Errorf("name: %s", a.Name())
+	}
+	tr := a.Traits()
+	if tr.OverflowFree || !tr.Orthogonal || !tr.DivisionFree || tr.RecursiveInit {
+		t.Errorf("traits: %+v", tr)
+	}
+	if tr.Encoding != labels.RepFixed {
+		t.Errorf("encoding: %v", tr.Encoding)
+	}
+	if a.Counters() == nil {
+		t.Error("counters nil")
+	}
+}
+
+func TestForeignCodesRejected(t *testing.T) {
+	a := NewAlgebra()
+	if _, err := a.Between(labels.QString("2"), nil); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("foreign left: %v", err)
+	}
+	if _, err := a.Between(nil, labels.IntCode{V: 3, Width: 8}); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("foreign right: %v", err)
+	}
+}
+
+func TestCompareAndAssignEdge(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Compare(cs[0], cs[1]) >= 0 || a.Compare(cs[2], cs[0]) <= 0 {
+		t.Error("compare ordering")
+	}
+	if zero, err := a.Assign(0); err != nil || len(zero) != 0 {
+		t.Errorf("Assign(0): %v %v", zero, err)
+	}
+}

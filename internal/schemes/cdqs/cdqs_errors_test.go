@@ -1,0 +1,46 @@
+package cdqs
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/labels"
+)
+
+func TestAlgebraMetadata(t *testing.T) {
+	a := NewAlgebra()
+	if a.Name() != "cdqs" {
+		t.Errorf("name: %s", a.Name())
+	}
+	tr := a.Traits()
+	if !tr.OverflowFree || !tr.Orthogonal || !tr.DivisionFree || tr.RecursiveInit {
+		t.Errorf("traits: %+v", tr)
+	}
+	if a.Counters() == nil {
+		t.Error("counters nil")
+	}
+}
+
+func TestForeignCodesRejected(t *testing.T) {
+	a := NewAlgebra()
+	if _, err := a.Between(labels.IntCode{V: 1, Width: 8}, nil); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("foreign left: %v", err)
+	}
+	if _, err := a.Between(nil, labels.BitString("01")); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("foreign right: %v", err)
+	}
+}
+
+func TestAssignZero(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(0)
+	if err != nil || len(cs) != 0 {
+		t.Fatalf("Assign(0): %v %v", cs, err)
+	}
+}
+
+func TestFactoriesSmoke(t *testing.T) {
+	if New().Name() != "cdqs" || NewRange().Name() != "cdqs-range" {
+		t.Error("factory names")
+	}
+}

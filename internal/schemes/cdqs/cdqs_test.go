@@ -1,0 +1,92 @@
+package cdqs
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/labels"
+	"xmldyn/internal/schemes/qed"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// TestCompactBeatsQEDOnBulk: CDQS's contribution over QED is initial
+// label compactness at equal overflow-freedom.
+func TestCompactBeatsQEDOnBulk(t *testing.T) {
+	ca := NewAlgebra()
+	qa := qed.NewAlgebra()
+	for _, n := range []int{10, 100, 1000, 10000} {
+		cc, err := ca.Assign(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qc, err := qa.Assign(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, q := labels.TotalBits(cc), labels.TotalBits(qc); c > q {
+			t.Errorf("n=%d: CDQS %d bits > QED %d bits", n, c, q)
+		}
+	}
+}
+
+// TestNeverRelabels: CDQS inherits QED's overflow-freedom.
+func TestNeverRelabels(t *testing.T) {
+	doc := xmltree.Generate(xmltree.GenOptions{Seed: 31, MaxDepth: 3, MaxChildren: 4})
+	s, err := update.NewSession(doc, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 1500; i++ {
+		nodes := doc.LabelledNodes()
+		ref := nodes[rng.Intn(len(nodes))]
+		if ref.Kind() != xmltree.KindElement {
+			continue
+		}
+		var err error
+		if ref != doc.Root() && rng.Intn(2) == 0 {
+			_, err = s.InsertBefore(ref, "q")
+		} else {
+			_, err = s.AppendChild(ref, "q")
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if st := s.Labeling().Stats(); st.Relabeled != 0 || st.OverflowEvents != 0 {
+		t.Fatalf("CDQS relabelled: %+v", *st)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTerminalDigitInvariant(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		q := c.(labels.QString)
+		if !q.EndsInTwoOrThree() {
+			t.Fatalf("bulk code %q breaks the invariant", q)
+		}
+	}
+	if i := labels.CheckAscending(cs, a.Compare); i != -1 {
+		t.Fatalf("bulk codes unsorted at %d", i)
+	}
+}
+
+func TestRangeMount(t *testing.T) {
+	doc := xmltree.SampleBook()
+	lab := NewRange()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.VerifyOrder(lab, doc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package cohen
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/labels"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// TestPaperCodes pins §3.1.2's worked identifiers: first child 0,
+// second 10, third 110, nth (n-1) ones + 0.
+func TestPaperCodes(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0", "10", "110", "1110"}
+	for i, c := range cs {
+		if c.String() != want[i] {
+			t.Errorf("code %d = %s, want %s", i, c, want[i])
+		}
+	}
+	if i := labels.CheckAscending(cs, a.Compare); i != -1 {
+		t.Fatalf("codes unsorted at %d", i)
+	}
+}
+
+// TestOneBitGrowthRate quantifies "significant label sizes ... for even
+// modest document sizes": the 100th sibling costs 100 bits where CDQS
+// needs ~10.
+func TestOneBitGrowthRate(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[99].Bits() != 100 {
+		t.Errorf("100th code bits: %d", cs[99].Bits())
+	}
+	if total := labels.TotalBits(cs); total != 5050 {
+		t.Errorf("total bits: %d", total)
+	}
+}
+
+// TestNoInteriorInsertion: the exclusion reason — appends work, interior
+// and before-first insertions require relabelling.
+func TestNoInteriorInsertion(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Between(cs[2], nil)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if m.String() != "1110" {
+		t.Errorf("append code: %s", m)
+	}
+	if _, err := a.Between(cs[0], cs[1]); !errors.Is(err, labels.ErrNeedRelabel) {
+		t.Errorf("interior: %v", err)
+	}
+	if _, err := a.Between(nil, cs[0]); !errors.Is(err, labels.ErrNeedRelabel) {
+		t.Errorf("before-first: %v", err)
+	}
+	if _, err := a.Between(labels.QString("2"), nil); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("foreign: %v", err)
+	}
+}
+
+func TestSessionAppendsOnlyCheaply(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	s, err := update.NewSession(doc, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendChild(doc.FindElement("c"), "tail"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Labeling().Stats(); st.Relabeled != 0 {
+		t.Errorf("append relabelled %d", st.Relabeled)
+	}
+	// Front insertion relabels the whole sibling list.
+	if _, err := s.InsertFirstChild(doc.FindElement("c"), "front"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Labeling().Stats(); st.Relabeled == 0 {
+		t.Error("front insert did not relabel")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package containment
+
+import (
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/labels"
+)
+
+// NewXRel returns the XRel labeling [30]: begin/end document-position
+// intervals with level, densely numbered — a path-based relational
+// storage scheme whose region coordinates shift on every insertion
+// (global order, fixed encoding, not persistent).
+func NewXRel() labeling.Interface {
+	return NewInterval(IntervalConfig{
+		Name: "xrel",
+		Algebra: labels.MustIntAlgebra(labels.IntAlgebraConfig{
+			Name: "xrel-int", Start: 1, Gap: 1, Width: 32, Floor: 1,
+		}),
+		WithLevel: true,
+	})
+}
+
+// NewGapInterval returns a containment labeling with sparse endpoint
+// allocation: the gap extensions of [17, 9, 11] that "permit gaps in the
+// labelling schemes to facilitate future insertions gracefully" but
+// "only postpone the relabelling process" (§3.1.1). Used by experiment
+// C1.
+func NewGapInterval(gap int64) labeling.Interface {
+	return NewInterval(IntervalConfig{
+		Name: "interval-gap",
+		Algebra: labels.MustIntAlgebra(labels.IntAlgebraConfig{
+			Name: "gap-int", Start: gap, Gap: gap, Width: 40, Floor: 1, Midpoint: true,
+		}),
+		WithLevel: true,
+	})
+}

@@ -1,0 +1,217 @@
+package dde
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+func TestBuildMatchesDewey(t *testing.T) {
+	// Before any update, DDE labels read exactly like Dewey labels.
+	doc := xmltree.ExampleTree()
+	lab := New()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"r": "1", "a": "1.1", "b": "1.2", "c": "1.3",
+		"a1": "1.1.1", "a2": "1.1.2", "b1": "1.2.1",
+		"c1": "1.3.1", "c2": "1.3.2", "c3": "1.3.3",
+	}
+	doc.WalkLabelled(func(n *xmltree.Node) bool {
+		if got := lab.Label(n).String(); got != want[n.Name()] {
+			t.Errorf("%s: got %s, want %s", n.Name(), got, want[n.Name()])
+		}
+		return true
+	})
+}
+
+func TestMediantInsertBetweenSiblings(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	lab := New()
+	s, err := update.NewSession(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between 1.3.1 and 1.3.2: component-wise sum 2.6.3.
+	n, err := s.InsertAfter(doc.FindElement("c1"), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Label(n).String(); got != "2.6.3" {
+		t.Errorf("mediant label = %s, want 2.6.3", got)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The inserted node is still a child of c and a descendant of r.
+	c := lab.Label(doc.FindElement("c"))
+	r := lab.Label(doc.Root())
+	if !lab.IsParent(c, lab.Label(n)) {
+		t.Error("mediant node should remain a child of c by proportionality")
+	}
+	if !lab.IsAncestor(r, lab.Label(n)) {
+		t.Error("mediant node should remain a descendant of the root")
+	}
+}
+
+func TestEndInsertions(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	lab := New()
+	s, err := update.NewSession(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := s.InsertFirstChild(doc.FindElement("c"), "front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Label(front).String(); got != "1.3.0" {
+		t.Errorf("before-first = %s, want 1.3.0", got)
+	}
+	back, err := s.AppendChild(doc.FindElement("c"), "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Label(back).String(); got != "1.3.4" {
+		t.Errorf("after-last = %s, want 1.3.4", got)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullyDynamicNoRelabels: DDE's titular property under a mixed storm.
+func TestFullyDynamicNoRelabels(t *testing.T) {
+	doc := xmltree.Generate(xmltree.GenOptions{Seed: 13, MaxDepth: 4, MaxChildren: 4, AttrProb: 0.2})
+	lab := New()
+	s, err := update.NewSession(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := labeling.Snapshot(lab, doc)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 1200; i++ {
+		nodes := doc.LabelledNodes()
+		ref := nodes[rng.Intn(len(nodes))]
+		if ref.Kind() != xmltree.KindElement {
+			continue
+		}
+		switch {
+		case ref != doc.Root() && rng.Intn(3) == 0:
+			_, err = s.InsertBefore(ref, "d")
+		case ref != doc.Root() && rng.Intn(3) == 1:
+			_, err = s.InsertAfter(ref, "d")
+		default:
+			_, err = s.AppendChild(ref, "d")
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	after := labeling.Snapshot(lab, doc)
+	for n, old := range before {
+		if after[n] != old {
+			t.Fatalf("label of %s changed: %s -> %s", n.Name(), old, after[n])
+		}
+	}
+	if st := lab.Stats(); st.Relabeled != 0 {
+		t.Fatalf("DDE relabelled %d nodes", st.Relabeled)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelationshipsAgainstGroundTruth exercises the proportionality
+// tests on a document after updates, where scaled prefixes appear.
+func TestRelationshipsAgainstGroundTruth(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	lab := New()
+	s, err := update.NewSession(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := doc.FindElement("c1")
+	for i := 0; i < 8; i++ {
+		if _, err := s.InsertAfter(c1, "w"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Grow a subtree under an inserted (mediant-labelled) node.
+	var inserted *xmltree.Node
+	for _, k := range doc.FindElement("c").Children() {
+		if k.Name() == "w" {
+			inserted = k
+			break
+		}
+	}
+	if inserted == nil {
+		t.Fatal("inserted node not found")
+	}
+	if _, err := s.AppendChild(inserted, "wk"); err != nil {
+		t.Fatal(err)
+	}
+	nodes := doc.LabelledNodes()
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v {
+				continue
+			}
+			if got := lab.IsAncestor(lab.Label(u), lab.Label(v)); got != u.IsAncestorOf(v) {
+				t.Fatalf("IsAncestor(%s=%s, %s=%s)=%v, truth %v",
+					u.Name(), lab.Label(u), v.Name(), lab.Label(v), got, u.IsAncestorOf(v))
+			}
+			uParent := xmltree.LabelledParent(v) == u
+			if got := lab.IsParent(lab.Label(u), lab.Label(v)); got != uParent {
+				t.Fatalf("IsParent(%s,%s)=%v, truth %v", u.Name(), v.Name(), got, uParent)
+			}
+		}
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	// Antisymmetry and transitivity spot-check over a stormed document.
+	doc := xmltree.ExampleTree()
+	lab := New()
+	s, err := update.NewSession(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 200; i++ {
+		nodes := doc.LabelledNodes()
+		ref := nodes[rng.Intn(len(nodes))]
+		if ref == doc.Root() {
+			continue
+		}
+		if _, err := s.InsertAfter(ref, "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes := doc.LabelledNodes()
+	pre := doc.PreRank()
+	for i := 0; i < len(nodes); i += 7 {
+		for j := 0; j < len(nodes); j += 11 {
+			got := lab.Compare(lab.Label(nodes[i]), lab.Label(nodes[j]))
+			want := sign(pre[nodes[i]] - pre[nodes[j]])
+			if got != want {
+				t.Fatalf("Compare(%s,%s)=%d, want %d", lab.Label(nodes[i]), lab.Label(nodes[j]), got, want)
+			}
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,81 @@
+package dln
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/labels"
+)
+
+// TestSublevelChainBudget: zigzag insertion drives DLN into ever deeper
+// sublevel chains until the label budget refuses — the fixed-width
+// scheme's §4 behaviour on the adversarial pattern.
+func TestSublevelChainBudget(t *testing.T) {
+	a := MustAlgebra(8)
+	cs, err := a.Assign(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r := cs[0], cs[1]
+	sawStop := false
+	for i := 0; i < 5000; i++ {
+		m, err := a.Between(l, r)
+		if err != nil {
+			if errors.Is(err, labels.ErrOverflow) || errors.Is(err, labels.ErrNeedRelabel) {
+				sawStop = true
+				break
+			}
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			r = m
+		} else {
+			l = m
+		}
+	}
+	if !sawStop {
+		t.Fatal("DLN chain never hit its budget under zigzag")
+	}
+}
+
+func TestDeepChainOrderStable(t *testing.T) {
+	// Sublevel extensions keep strict order at every depth.
+	a := MustAlgebra(8)
+	cs, err := a.Assign(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r := cs[0], cs[1]
+	var chain []labels.Code
+	for i := 0; i < 40; i++ {
+		m, err := a.Between(l, r)
+		if err != nil {
+			break
+		}
+		chain = append(chain, m)
+		l = m // one-sided: each new code sits between the last and r
+	}
+	for i := 1; i < len(chain); i++ {
+		if a.Compare(chain[i-1], chain[i]) >= 0 {
+			t.Fatalf("chain order broke at %d: %s !< %s", i, chain[i-1], chain[i])
+		}
+	}
+	if a.Compare(chain[len(chain)-1], r) >= 0 {
+		t.Fatal("chain escaped its right bound")
+	}
+}
+
+func TestRenderChain(t *testing.T) {
+	a := MustAlgebra(8)
+	cs, _ := a.Assign(3)
+	m, err := a.Between(cs[1], cs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.String(); got != "2/127" {
+		t.Errorf("sublevel render: %s", got)
+	}
+	if m.Bits() != 2*(8+1) {
+		t.Errorf("bits: %d", m.Bits())
+	}
+}

@@ -1,0 +1,162 @@
+package lsdx
+
+import (
+	"testing"
+
+	"xmldyn/internal/labels"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// TestFigure5LSDX reproduces the paper's Figure 5: the example tree under
+// LSDX plus the three grey insertions (2ab.ab, 2ac.c, 2ad.bb).
+func TestFigure5LSDX(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	s, err := update.NewSession(doc, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := s.Labeling()
+	wantBase := map[string]string{
+		"r": "0a",
+		"a": "1a.b", "b": "1a.c", "c": "1a.d",
+		"a1": "2ab.b", "a2": "2ab.c",
+		"b1": "2ac.b",
+		"c1": "2ad.b", "c2": "2ad.c", "c3": "2ad.d",
+	}
+	doc.WalkLabelled(func(n *xmltree.Node) bool {
+		if got := lab.Label(n).String(); got != wantBase[n.Name()] {
+			t.Errorf("base %s: got %s, want %s", n.Name(), got, wantBase[n.Name()])
+		}
+		return true
+	})
+
+	// Grey 1: before the first child of A -> prefix 'a' (2ab.ab).
+	g1, err := s.InsertFirstChild(doc.FindElement("a"), "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Label(g1).String(); got != "2ab.ab" {
+		t.Errorf("before-first: got %s, want 2ab.ab", got)
+	}
+	// Grey 2: after the last child of B -> increment (2ac.c).
+	g2, err := s.AppendChild(doc.FindElement("b"), "g2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Label(g2).String(); got != "2ac.c" {
+		t.Errorf("after-last: got %s, want 2ac.c", got)
+	}
+	// Grey 3: between c1 (2ad.b) and c2 (2ad.c) -> 2ad.bb.
+	g3, err := s.InsertAfter(doc.FindElement("c1"), "g3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Label(g3).String(); got != "2ad.bb" {
+		t.Errorf("between: got %s, want 2ad.bb", got)
+	}
+	if st := lab.Stats(); st.Relabeled != 0 {
+		t.Errorf("LSDX relabelled %d nodes on these insertions", st.Relabeled)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkSuccession(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b..z is 25 codes, then zb, zc.
+	if cs[0].String() != "b" || cs[24].String() != "z" {
+		t.Fatalf("bulk start/end: %s %s", cs[0], cs[24])
+	}
+	if cs[25].String() != "zb" || cs[26].String() != "zc" {
+		t.Fatalf("post-z codes: %s %s", cs[25], cs[26])
+	}
+	if i := labels.CheckAscending(cs, a.Compare); i != -1 {
+		t.Fatalf("bulk codes unsorted at %d", i)
+	}
+}
+
+// TestCollisionDefect reproduces the paper's §3.1.2 finding (citing Sans
+// & Laurent [19]) that "LSDX and the two labelling schemes derived from
+// it do not always produce unique node labels": inserting between a node
+// and a previously-inserted between-node yields a duplicate.
+func TestCollisionDefect(t *testing.T) {
+	a := NewAlgebra()
+	left, right := Code("b"), Code("c")
+	x, err := a.Between(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.String() != "bb" {
+		t.Fatalf("first between: %s", x)
+	}
+	// Insert between "b" and the new "bb": the published rule appends
+	// 'b' to the left neighbour again, colliding with the live "bb".
+	y, err := a.Between(left, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Compare(x, y) != 0 {
+		t.Fatalf("expected the documented collision, got distinct codes %s and %s", x, y)
+	}
+}
+
+// TestCollisionSurfacesInSession shows the defect end-to-end: after the
+// two-step insertion scenario the session's order verification fails.
+func TestCollisionSurfacesInSession(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	s, err := update.NewSession(doc, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := doc.FindElement("c1")
+	x, err := s.InsertAfter(c1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertAfter(c1, "y"); err != nil {
+		t.Fatal(err)
+	}
+	_ = x
+	if err := s.Verify(); err == nil {
+		t.Fatal("expected an order violation from the duplicate label")
+	}
+}
+
+func TestRender(t *testing.T) {
+	root := []labels.Code{Code("a")}
+	if got := Render(root); got != "0a" {
+		t.Errorf("root render: %s", got)
+	}
+	deep := []labels.Code{Code("a"), Code("d"), Code("bb")}
+	if got := Render(deep); got != "2ad.bb" {
+		t.Errorf("deep render: %s", got)
+	}
+}
+
+func TestDeletionAllowsReuse(t *testing.T) {
+	// "labels are not persistent and may be reassigned upon deletion":
+	// after deleting the last child, appending again reuses its code.
+	doc := xmltree.ExampleTree()
+	s, err := update.NewSession(doc, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := doc.FindElement("c3")
+	old := s.Labeling().Label(c3).String()
+	if err := s.Delete(c3); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := s.AppendChild(doc.FindElement("c"), "c3bis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Labeling().Label(fresh).String(); got != old {
+		t.Errorf("reused label = %s, want %s", got, old)
+	}
+}

@@ -1,0 +1,127 @@
+package prime
+
+import (
+	"testing"
+
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+func TestBuildAndOrder(t *testing.T) {
+	doc := xmltree.SampleBook()
+	lab := New()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.VerifyOrder(lab, doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivisibilityAncestry(t *testing.T) {
+	doc := xmltree.SampleBook()
+	lab := New()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	nodes := doc.LabelledNodes()
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v {
+				continue
+			}
+			got := lab.IsAncestor(lab.Label(u), lab.Label(v))
+			if got != u.IsAncestorOf(v) {
+				t.Fatalf("IsAncestor(%s,%s)=%v, truth %v", u.Name(), v.Name(), got, u.IsAncestorOf(v))
+			}
+		}
+	}
+	editor := lab.Label(doc.FindElement("editor"))
+	name := lab.Label(doc.FindElement("name"))
+	if !lab.IsParent(editor, name) {
+		t.Error("parent test failed")
+	}
+	if lvl, ok := lab.Level(name); !ok || lvl != 3 {
+		t.Errorf("level = %d/%v", lvl, ok)
+	}
+}
+
+// TestPersistentLabelsUnderUpdates: the prime scheme's selling point —
+// insertions recompute the SC order value but never touch existing
+// labels.
+func TestPersistentLabelsUnderUpdates(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	lab := New()
+	s, err := update.NewSession(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := labeling.Snapshot(lab, doc)
+	c1 := doc.FindElement("c1")
+	for i := 0; i < 10; i++ {
+		if _, err := s.InsertAfter(c1, "p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.InsertFirstChild(doc.Root(), "front"); err != nil {
+		t.Fatal(err)
+	}
+	after := labeling.Snapshot(lab, doc)
+	for n, old := range before {
+		if after[n] != old {
+			t.Fatalf("label of %s changed: %s -> %s", n.Name(), old, after[n])
+		}
+	}
+	if st := lab.Stats(); st.Relabeled != 0 {
+		t.Fatalf("prime relabelled %d nodes", st.Relabeled)
+	}
+	if lab.SCRecomputes < 11 {
+		t.Errorf("SC recomputations = %d, want >= 11 (one per insertion)", lab.SCRecomputes)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeletionKeepsOrder(t *testing.T) {
+	doc := xmltree.SampleBook()
+	lab := New()
+	s, err := update.NewSession(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(doc.FindElement("editor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSieve(t *testing.T) {
+	ps := sieve(30)
+	want := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if len(ps) != len(want) {
+		t.Fatalf("sieve(30): %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("sieve(30)[%d]=%d, want %d", i, ps[i], want[i])
+		}
+	}
+}
+
+func TestLabelBitsGrowWithDepth(t *testing.T) {
+	doc := xmltree.GenerateDeep(8)
+	lab := New()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	shallow := lab.Label(doc.Root()).Bits()
+	var deepest *xmltree.Node
+	doc.WalkLabelled(func(n *xmltree.Node) bool { deepest = n; return true })
+	if deep := lab.Label(deepest).Bits(); deep <= shallow {
+		t.Errorf("deep label bits %d should exceed root bits %d (prime products accumulate)", deep, shallow)
+	}
+}

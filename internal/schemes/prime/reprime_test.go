@@ -1,0 +1,70 @@
+package prime
+
+import (
+	"testing"
+
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// TestReprimeFallback drives the document far past the prime headroom
+// so ranks outgrow the smallest prime; the labeling must re-prime
+// everything (counting a relabel event) instead of failing, and order
+// must survive.
+func TestReprimeFallback(t *testing.T) {
+	doc, err := xmltree.ParseString("<r><a/><b/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := New()
+	s, err := update.NewSession(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial size 3 -> prime floor 256. Front insertions push the
+	// *original* nodes' document-order ranks upward until one crosses
+	// its own (small) prime — appends would never conflict, since the
+	// early-prime nodes keep their early ranks.
+	for i := 0; i < 300; i++ {
+		if _, err := s.InsertFirstChild(doc.Root(), "n"); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	st := lab.Stats()
+	if st.RelabelEvents == 0 || st.Relabeled == 0 {
+		t.Fatalf("expected a re-prime event: %+v", *st)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Ancestry still decides by divisibility after the re-prime.
+	r := lab.Label(doc.Root())
+	kid := lab.Label(doc.Root().FirstChild())
+	if !lab.IsAncestor(r, kid) {
+		t.Fatal("ancestry broken after re-prime")
+	}
+}
+
+func TestIsAncestorRejectsEqualValues(t *testing.T) {
+	doc := xmltree.SampleBook()
+	lab := New()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	l := lab.Label(doc.FindElement("editor"))
+	if lab.IsAncestor(l, l) {
+		t.Fatal("node cannot be its own ancestor")
+	}
+}
+
+func TestLowerBoundPrime(t *testing.T) {
+	lab := New()
+	lab.ensurePrimes(100)
+	idx := lowerBoundPrime(lab.primes, 50)
+	if lab.primes[idx].Int64() <= 50 {
+		t.Fatalf("lower bound: %v", lab.primes[idx])
+	}
+	if idx > 0 && lab.primes[idx-1].Int64() > 50 {
+		t.Fatalf("not the first prime above 50: %v", lab.primes[idx-1])
+	}
+}

@@ -1,0 +1,57 @@
+package qed
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/labels"
+)
+
+func TestAlgebraMetadata(t *testing.T) {
+	a := NewAlgebra()
+	if a.Name() != "qed" {
+		t.Errorf("name: %s", a.Name())
+	}
+	tr := a.Traits()
+	if !tr.OverflowFree || !tr.Orthogonal || tr.DivisionFree || !tr.RecursiveInit {
+		t.Errorf("traits: %+v", tr)
+	}
+	if tr.Encoding != labels.RepVariable {
+		t.Errorf("encoding: %v", tr.Encoding)
+	}
+}
+
+func TestForeignCodesRejected(t *testing.T) {
+	a := NewAlgebra()
+	if _, err := a.Between(labels.BitString("01"), nil); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("foreign left: %v", err)
+	}
+	if _, err := a.Between(nil, labels.IntCode{V: 1, Width: 8}); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("foreign right: %v", err)
+	}
+}
+
+func TestAssignZeroAndCounters(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(0)
+	if err != nil || len(cs) != 0 {
+		t.Fatalf("Assign(0): %v %v", cs, err)
+	}
+	if _, err := a.Assign(50); err != nil {
+		t.Fatal(err)
+	}
+	c := a.Counters()
+	if c.Assigns != 2 || c.MaxRecursion == 0 || c.Divisions == 0 {
+		t.Errorf("counters: %+v", *c)
+	}
+}
+
+func TestRangeFactorySmoke(t *testing.T) {
+	lab := NewRange()
+	if lab.Name() != "qed-range" {
+		t.Errorf("range name: %s", lab.Name())
+	}
+	if Factory()().Name() != "qed" {
+		t.Error("factory name")
+	}
+}

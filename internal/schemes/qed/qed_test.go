@@ -1,0 +1,103 @@
+package qed
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// TestQEDNeverRelabels is the scheme's headline property (§4): 2000
+// mixed structural updates, zero relabels, order intact.
+func TestQEDNeverRelabels(t *testing.T) {
+	doc := xmltree.Generate(xmltree.GenOptions{Seed: 9, MaxDepth: 4, MaxChildren: 4, AttrProb: 0.2})
+	s, err := update.NewSession(doc, NewPrefix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		nodes := elementNodes(doc)
+		ref := nodes[rng.Intn(len(nodes))]
+		var opErr error
+		switch rng.Intn(4) {
+		case 0:
+			if ref.Parent() != nil && ref != doc.Root() {
+				_, opErr = s.InsertBefore(ref, "n")
+			}
+		case 1:
+			if ref.Parent() != nil && ref != doc.Root() {
+				_, opErr = s.InsertAfter(ref, "n")
+			}
+		case 2:
+			_, opErr = s.InsertFirstChild(ref, "n")
+		default:
+			_, opErr = s.AppendChild(ref, "n")
+		}
+		if opErr != nil {
+			t.Fatalf("op %d: %v", i, opErr)
+		}
+	}
+	st := s.Labeling().Stats()
+	if st.Relabeled != 0 || st.RelabelEvents != 0 || st.OverflowEvents != 0 {
+		t.Fatalf("QED must never relabel: %+v", *st)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQEDBulkCodesEndInvariant(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cs {
+		s := c.String()
+		last := s[len(s)-1]
+		if last != '2' && last != '3' {
+			t.Fatalf("code %d (%s) breaks the terminal-digit invariant", i, s)
+		}
+	}
+	if a.Counters().MaxRecursion == 0 {
+		t.Error("QED bulk labelling should be recursive")
+	}
+	if a.Counters().Divisions == 0 {
+		t.Error("QED third positions should count divisions")
+	}
+}
+
+func TestQEDSkewedGrowthLinearBits(t *testing.T) {
+	// Fixed-position insertion grows QED codes about one digit per one
+	// to two insertions — the weakness the vector scheme targets.
+	a := NewAlgebra()
+	cs, err := a.Assign(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r := cs[0], cs[1]
+	for i := 0; i < 100; i++ {
+		m, err := a.Between(l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = m // always insert directly after l
+	}
+	gotBits := r.Bits()
+	if gotBits < 80 {
+		t.Errorf("after 100 skewed insertions code is %d bits; expected linear growth (>=80)", gotBits)
+	}
+}
+
+func elementNodes(doc *xmltree.Document) []*xmltree.Node {
+	var out []*xmltree.Node
+	doc.WalkLabelled(func(n *xmltree.Node) bool {
+		if n.Kind() == xmltree.KindElement {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,68 @@
+package qrs
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/labels"
+)
+
+func TestAlgebraMetadata(t *testing.T) {
+	a := NewAlgebra()
+	if a.Name() != "qrs" {
+		t.Errorf("name: %s", a.Name())
+	}
+	tr := a.Traits()
+	if tr.DivisionFree || tr.OverflowFree || tr.Orthogonal || tr.RecursiveInit {
+		t.Errorf("traits: %+v", tr)
+	}
+	if tr.Encoding != labels.RepFixed {
+		t.Errorf("encoding: %v", tr.Encoding)
+	}
+}
+
+func TestBetweenEdges(t *testing.T) {
+	a := NewAlgebra()
+	// Empty bounds.
+	m, err := a.Between(nil, nil)
+	if err != nil || float64(m.(Code)) != 1 {
+		t.Errorf("empty bounds: %v %v", m, err)
+	}
+	// After last: +1, no division.
+	m, err = a.Between(Code(7), nil)
+	if err != nil || float64(m.(Code)) != 8 {
+		t.Errorf("after last: %v %v", m, err)
+	}
+	// Before first: midpoint of (0, r).
+	m, err = a.Between(nil, Code(8))
+	if err != nil || float64(m.(Code)) != 4 {
+		t.Errorf("before first: %v %v", m, err)
+	}
+	// Misorder.
+	if _, err := a.Between(Code(5), Code(4)); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("misorder: %v", err)
+	}
+	// Foreign codes.
+	if _, err := a.Between(labels.QString("2"), nil); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("foreign left: %v", err)
+	}
+	if _, err := a.Between(nil, labels.QString("2")); !errors.Is(err, labels.ErrBadCode) {
+		t.Errorf("foreign right: %v", err)
+	}
+}
+
+func TestCompareAndBits(t *testing.T) {
+	a := NewAlgebra()
+	if a.Compare(Code(1), Code(2)) != -1 || a.Compare(Code(2), Code(1)) != 1 || a.Compare(Code(1), Code(1)) != 0 {
+		t.Error("compare")
+	}
+	if Code(1.5).Bits() != 64 {
+		t.Error("bits")
+	}
+	if Code(0.5).String() != "0.5" {
+		t.Errorf("render: %s", Code(0.5))
+	}
+	if zero, err := a.Assign(0); err != nil || len(zero) != 0 {
+		t.Errorf("Assign(0): %v %v", zero, err)
+	}
+}

@@ -1,0 +1,86 @@
+package qrs
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/labels"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// TestFloatPrecisionExhaustion reproduces the paper's §3.1.1 critique:
+// float midpoints stop separating after ~52 skewed insertions (the
+// float64 mantissa width), after which QRS behaves like sparse integer
+// allocation and must relabel.
+func TestFloatPrecisionExhaustion(t *testing.T) {
+	a := NewAlgebra()
+	cs, err := a.Assign(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r := cs[0], cs[1]
+	exhaustedAt := 0
+	for i := 1; i <= 100; i++ {
+		m, err := a.Between(l, r)
+		if err != nil {
+			if errors.Is(err, labels.ErrNeedRelabel) {
+				exhaustedAt = i
+				break
+			}
+			t.Fatal(err)
+		}
+		r = m
+	}
+	if exhaustedAt == 0 {
+		t.Fatal("float precision never exhausted in 100 skewed insertions")
+	}
+	if exhaustedAt < 45 || exhaustedAt > 60 {
+		t.Errorf("exhausted at insertion %d, expected ~52 (mantissa width)", exhaustedAt)
+	}
+	if a.Counters().Divisions == 0 {
+		t.Error("midpoint divisions not counted")
+	}
+}
+
+func TestSessionRenumbersAfterExhaustion(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	s, err := update.NewSession(doc, New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := doc.FindElement("c1")
+	for i := 0; i < 80; i++ {
+		if _, err := s.InsertAfter(c1, "f"); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	st := s.Labeling().Stats()
+	if st.RelabelEvents == 0 {
+		t.Fatal("QRS should have renumbered at least once in 80 skewed insertions")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderAndAncestry(t *testing.T) {
+	doc := xmltree.SampleBook()
+	lab := New()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.VerifyOrder(lab, doc); err != nil {
+		t.Fatal(err)
+	}
+	type ancestorLab interface {
+		IsAncestor(a, d labeling.Label) bool
+	}
+	al := lab.(ancestorLab)
+	book := lab.Label(doc.FindElement("book"))
+	name := lab.Label(doc.FindElement("name"))
+	if !al.IsAncestor(book, name) || al.IsAncestor(name, book) {
+		t.Error("float interval ancestry failed")
+	}
+}

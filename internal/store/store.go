@@ -1,0 +1,161 @@
+// Package store serialises encoded documents (the Definition 2 table of
+// internal/encoding) to a compact, self-describing binary snapshot and
+// back. A snapshot captures what an XML repository persists: the scheme
+// name, every labelled node's label, kind, parent label, name and value
+// — enough to rebuild the document text (Definition 2's reconstruction
+// requirement) or to reopen it under the same scheme.
+//
+// Format (all integers LEB128, all strings length-prefixed):
+//
+//	magic "XDYN" | version byte | scheme | row count
+//	rows: kind | label | parent | name | value
+//	trailer: FNV-1a checksum of everything before it
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"xmldyn/internal/encoding"
+	"xmldyn/internal/labels"
+	"xmldyn/internal/xmltree"
+)
+
+// Errors reported by the codec.
+var (
+	ErrBadMagic    = errors.New("store: not an xmldyn snapshot")
+	ErrBadVersion  = errors.New("store: unsupported snapshot version")
+	ErrCorrupt     = errors.New("store: snapshot corrupted")
+	ErrBadChecksum = errors.New("store: checksum mismatch")
+)
+
+const (
+	magic   = "XDYN"
+	version = 1
+)
+
+// Snapshot is a decoded store image.
+type Snapshot struct {
+	Scheme string
+	Rows   []encoding.Row
+}
+
+// Marshal snapshots an encoded document.
+func Marshal(enc *encoding.Document) ([]byte, error) {
+	return MarshalRows(enc.Labeling().Name(), enc.Table())
+}
+
+// MarshalRows snapshots a row table under a scheme name.
+func MarshalRows(scheme string, rows []encoding.Row) ([]byte, error) {
+	var out []byte
+	out = append(out, magic...)
+	out = append(out, version)
+	out = appendString(out, scheme)
+	out = append(out, labels.EncodeLEB128(uint64(len(rows)))...)
+	for _, r := range rows {
+		if r.Kind != xmltree.KindElement && r.Kind != xmltree.KindAttribute {
+			return nil, fmt.Errorf("store: row kind %v not storable", r.Kind)
+		}
+		out = append(out, byte(r.Kind))
+		out = appendString(out, r.Label)
+		out = appendString(out, r.Parent)
+		out = appendString(out, r.Name)
+		out = appendString(out, r.Value)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(out)
+	sum := h.Sum64()
+	out = append(out, labels.EncodeLEB128(sum)...)
+	return out, nil
+}
+
+// Unmarshal decodes a snapshot, verifying the checksum.
+func Unmarshal(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+1 {
+		return nil, ErrBadMagic
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, ErrBadMagic
+	}
+	if data[len(magic)] != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, data[len(magic)])
+	}
+	pos := len(magic) + 1
+	scheme, pos, err := readString(data, pos)
+	if err != nil {
+		return nil, err
+	}
+	count, n, err := labels.DecodeLEB128(data[pos:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: row count: %v", ErrCorrupt, err)
+	}
+	pos += n
+	if count > uint64(len(data)) { // cheap sanity bound: >=5 bytes/row
+		return nil, fmt.Errorf("%w: implausible row count %d", ErrCorrupt, count)
+	}
+	snap := &Snapshot{Scheme: scheme, Rows: make([]encoding.Row, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("%w: truncated at row %d", ErrCorrupt, i)
+		}
+		kind := xmltree.Kind(data[pos])
+		pos++
+		if kind != xmltree.KindElement && kind != xmltree.KindAttribute {
+			return nil, fmt.Errorf("%w: row %d kind %d", ErrCorrupt, i, kind)
+		}
+		var r encoding.Row
+		r.Kind = kind
+		if r.Label, pos, err = readString(data, pos); err != nil {
+			return nil, err
+		}
+		if r.Parent, pos, err = readString(data, pos); err != nil {
+			return nil, err
+		}
+		if r.Name, pos, err = readString(data, pos); err != nil {
+			return nil, err
+		}
+		if r.Value, pos, err = readString(data, pos); err != nil {
+			return nil, err
+		}
+		snap.Rows = append(snap.Rows, r)
+	}
+	want, n, err := labels.DecodeLEB128(data[pos:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: trailer: %v", ErrCorrupt, err)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(data[:pos])
+	if h.Sum64() != want {
+		return nil, ErrBadChecksum
+	}
+	if pos+n != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos-n)
+	}
+	return snap, nil
+}
+
+// Rebuild reconstructs the document tree from the snapshot's rows.
+func (s *Snapshot) Rebuild() (*xmltree.Document, error) {
+	return encoding.Reconstruct(s.Rows)
+}
+
+func appendString(out []byte, s string) []byte {
+	out = append(out, labels.EncodeLEB128(uint64(len(s)))...)
+	return append(out, s...)
+}
+
+func readString(data []byte, pos int) (string, int, error) {
+	if pos >= len(data) {
+		return "", 0, fmt.Errorf("%w: truncated string length", ErrCorrupt)
+	}
+	l, n, err := labels.DecodeLEB128(data[pos:])
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: string length: %v", ErrCorrupt, err)
+	}
+	pos += n
+	if l > uint64(len(data)-pos) {
+		return "", 0, fmt.Errorf("%w: string of %d bytes exceeds buffer", ErrCorrupt, l)
+	}
+	return string(data[pos : pos+int(l)]), pos + int(l), nil
+}

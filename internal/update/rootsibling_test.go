@@ -1,0 +1,75 @@
+package update_test
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/schemes/qed"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// TestRootSiblingRejected: a document has exactly one root element, so
+// sibling insertion relative to the root must fail for every entry
+// point.
+func TestRootSiblingRejected(t *testing.T) {
+	doc := xmltree.SampleBook()
+	s, err := update.NewSession(doc, qed.NewPrefix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root()
+	if _, err := s.InsertBefore(root, "x"); !errors.Is(err, update.ErrRootSibling) {
+		t.Errorf("InsertBefore root: %v", err)
+	}
+	if _, err := s.InsertAfter(root, "x"); !errors.Is(err, update.ErrRootSibling) {
+		t.Errorf("InsertAfter root: %v", err)
+	}
+	if err := s.InsertSubtreeBefore(root, xmltree.NewElement("x")); !errors.Is(err, update.ErrRootSibling) {
+		t.Errorf("InsertSubtreeBefore root: %v", err)
+	}
+	if err := s.InsertSubtreeAfter(root, xmltree.NewElement("x")); !errors.Is(err, update.ErrRootSibling) {
+		t.Errorf("InsertSubtreeAfter root: %v", err)
+	}
+	if err := s.MoveBefore(root, doc.FindElement("editor")); !errors.Is(err, update.ErrRootSibling) {
+		t.Errorf("MoveBefore root: %v", err)
+	}
+	if err := s.MoveAfter(root, doc.FindElement("editor")); !errors.Is(err, update.ErrRootSibling) {
+		t.Errorf("MoveAfter root: %v", err)
+	}
+	// Detached references still report detachment.
+	if _, err := s.InsertBefore(xmltree.NewElement("loose"), "x"); !errors.Is(err, update.ErrDetachedRef) {
+		t.Errorf("detached ref: %v", err)
+	}
+	// The document is still a single-rooted valid tree.
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSubtreeFirst(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	s, err := update.NewSession(doc, qed.NewPrefix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := xmltree.NewElement("front")
+	if err := sub.AppendChild(xmltree.NewElement("inner")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertSubtreeFirst(doc.FindElement("c"), sub); err != nil {
+		t.Fatal(err)
+	}
+	if doc.FindElement("c").FirstChild() != sub {
+		t.Fatal("subtree not first")
+	}
+	if s.Labeling().Label(sub) == nil || s.Labeling().Label(sub.FirstChild()) == nil {
+		t.Fatal("subtree unlabelled")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

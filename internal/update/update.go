@@ -1,0 +1,350 @@
+// Package update implements the XML update mechanism of the paper's §3:
+// structural updates (insertion and deletion of leaf nodes, internal
+// nodes and subtrees, in any sibling position) and content updates
+// (value and name changes), applied to a document while a labelling
+// scheme maintains document order. A Session couples one document with
+// one labeling and accounts for every operation, so the evaluation
+// framework can read persistence, overflow and growth behaviour straight
+// off the session counters.
+package update
+
+import (
+	"errors"
+	"fmt"
+
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/xmltree"
+)
+
+// Errors reported by update operations.
+var (
+	ErrDetachedRef = errors.New("update: reference node is not attached")
+	ErrNotElement  = errors.New("update: operation requires an element node")
+	ErrRootSibling = errors.New("update: cannot insert a sibling of the root element")
+)
+
+// checkSiblingRef validates a reference node for sibling insertion:
+// attached, and not the root element (a document has exactly one root).
+func checkSiblingRef(ref *xmltree.Node) error {
+	p := ref.Parent()
+	if p == nil {
+		return ErrDetachedRef
+	}
+	if p.Kind() == xmltree.KindDocument {
+		return ErrRootSibling
+	}
+	return nil
+}
+
+// Counters aggregates per-session operation counts.
+type Counters struct {
+	Inserts        int64 // labellable nodes inserted
+	Deletes        int64 // labellable nodes deleted
+	ContentUpdates int64
+	Operations     int64 // top-level operations applied
+}
+
+// Session couples a document with a labelling scheme instance.
+type Session struct {
+	doc *xmltree.Document
+	lab labeling.Interface
+	ctr Counters
+}
+
+// NewSession builds the labeling for doc and returns the session.
+func NewSession(doc *xmltree.Document, lab labeling.Interface) (*Session, error) {
+	if err := lab.Build(doc); err != nil {
+		return nil, fmt.Errorf("update: build %s: %w", lab.Name(), err)
+	}
+	return &Session{doc: doc, lab: lab}, nil
+}
+
+// Document returns the session's document.
+func (s *Session) Document() *xmltree.Document { return s.doc }
+
+// Labeling returns the session's labeling.
+func (s *Session) Labeling() labeling.Interface { return s.lab }
+
+// Counters returns a copy of the operation counters.
+func (s *Session) Counters() Counters { return s.ctr }
+
+// --- structural updates ----------------------------------------------------
+
+// InsertBefore inserts a new element with the given name immediately
+// before ref and labels it.
+func (s *Session) InsertBefore(ref *xmltree.Node, name string) (*xmltree.Node, error) {
+	if err := checkSiblingRef(ref); err != nil {
+		return nil, err
+	}
+	n := xmltree.NewElement(name)
+	if err := xmltree.InsertBefore(ref, n); err != nil {
+		return nil, err
+	}
+	return n, s.labelNew(n)
+}
+
+// InsertAfter inserts a new element immediately after ref.
+func (s *Session) InsertAfter(ref *xmltree.Node, name string) (*xmltree.Node, error) {
+	if err := checkSiblingRef(ref); err != nil {
+		return nil, err
+	}
+	n := xmltree.NewElement(name)
+	if err := xmltree.InsertAfter(ref, n); err != nil {
+		return nil, err
+	}
+	return n, s.labelNew(n)
+}
+
+// InsertFirstChild inserts a new element as parent's first child.
+func (s *Session) InsertFirstChild(parent *xmltree.Node, name string) (*xmltree.Node, error) {
+	n := xmltree.NewElement(name)
+	if err := parent.PrependChild(n); err != nil {
+		return nil, err
+	}
+	return n, s.labelNew(n)
+}
+
+// AppendChild inserts a new element as parent's last child.
+func (s *Session) AppendChild(parent *xmltree.Node, name string) (*xmltree.Node, error) {
+	n := xmltree.NewElement(name)
+	if err := parent.AppendChild(n); err != nil {
+		return nil, err
+	}
+	return n, s.labelNew(n)
+}
+
+// SetAttr sets an attribute; a newly created attribute node is labelled
+// (attributes are labellable leaves in the paper's model).
+func (s *Session) SetAttr(e *xmltree.Node, name, value string) (*xmltree.Node, error) {
+	if _, exists := e.Attr(name); exists {
+		a, err := e.SetAttr(name, value)
+		if err != nil {
+			return nil, err
+		}
+		s.ctr.ContentUpdates++
+		s.ctr.Operations++
+		return a, nil
+	}
+	a, err := e.SetAttr(name, value)
+	if err != nil {
+		return nil, err
+	}
+	return a, s.labelNew(a)
+}
+
+// InsertSubtreeBefore grafts a detached subtree immediately before ref,
+// labelling every labellable node in document order ("subtree insertions
+// may be serialised as a sequence of nodes and inserted individually" —
+// §3.1.2).
+func (s *Session) InsertSubtreeBefore(ref *xmltree.Node, root *xmltree.Node) error {
+	if err := checkSiblingRef(ref); err != nil {
+		return err
+	}
+	if err := xmltree.InsertBefore(ref, root); err != nil {
+		return err
+	}
+	return s.labelSubtree(root)
+}
+
+// InsertSubtreeAfter grafts a detached subtree immediately after ref.
+func (s *Session) InsertSubtreeAfter(ref *xmltree.Node, root *xmltree.Node) error {
+	if err := checkSiblingRef(ref); err != nil {
+		return err
+	}
+	if err := xmltree.InsertAfter(ref, root); err != nil {
+		return err
+	}
+	return s.labelSubtree(root)
+}
+
+// AppendSubtree grafts a detached subtree as parent's last child.
+func (s *Session) AppendSubtree(parent *xmltree.Node, root *xmltree.Node) error {
+	if err := parent.AppendChild(root); err != nil {
+		return err
+	}
+	return s.labelSubtree(root)
+}
+
+// InsertSubtreeFirst grafts a detached subtree as parent's first
+// non-attribute child.
+func (s *Session) InsertSubtreeFirst(parent *xmltree.Node, root *xmltree.Node) error {
+	if err := parent.PrependChild(root); err != nil {
+		return err
+	}
+	return s.labelSubtree(root)
+}
+
+// Delete detaches the subtree rooted at n (leaf deletion is the
+// degenerate case) after releasing its labels.
+func (s *Session) Delete(n *xmltree.Node) error {
+	if n.Parent() == nil {
+		return ErrDetachedRef
+	}
+	removed := int64(0)
+	if n.Kind() == xmltree.KindElement || n.Kind() == xmltree.KindAttribute {
+		removed = int64(countLabellable(n))
+		s.lab.NodeDeleting(n)
+	}
+	n.Detach()
+	s.ctr.Deletes += removed
+	s.ctr.Operations++
+	return nil
+}
+
+// MoveBefore detaches the subtree rooted at n and re-inserts it
+// immediately before ref. A move is delete-plus-insert at the labelling
+// level: the subtree receives fresh labels at the destination (the
+// paper's update taxonomy has no primitive move; §3.1.2: subtrees are
+// "serialised as a sequence of nodes and inserted individually").
+func (s *Session) MoveBefore(ref, n *xmltree.Node) error {
+	if err := checkSiblingRef(ref); err != nil {
+		return err
+	}
+	return s.move(n, func() error { return xmltree.InsertBefore(ref, n) }, ref)
+}
+
+// MoveAfter detaches the subtree rooted at n and re-inserts it
+// immediately after ref.
+func (s *Session) MoveAfter(ref, n *xmltree.Node) error {
+	if err := checkSiblingRef(ref); err != nil {
+		return err
+	}
+	return s.move(n, func() error { return xmltree.InsertAfter(ref, n) }, ref)
+}
+
+// MoveAppend detaches the subtree rooted at n and appends it under
+// parent.
+func (s *Session) MoveAppend(parent, n *xmltree.Node) error {
+	return s.move(n, func() error { return parent.AppendChild(n) }, parent)
+}
+
+func (s *Session) move(n *xmltree.Node, attach func() error, dest *xmltree.Node) error {
+	if n.Parent() == nil {
+		return ErrDetachedRef
+	}
+	if n.Kind() != xmltree.KindElement {
+		return ErrNotElement
+	}
+	if n == dest || n.IsAncestorOf(dest) {
+		return xmltree.ErrCycle
+	}
+	removed := int64(countLabellable(n))
+	s.lab.NodeDeleting(n)
+	n.Detach()
+	s.ctr.Deletes += removed
+	if err := attach(); err != nil {
+		return err
+	}
+	// labelSubtree counts the move as one operation.
+	return s.labelSubtree(n)
+}
+
+// DeleteChildren removes all children of n (an internal-node content
+// reset), keeping n itself labelled.
+func (s *Session) DeleteChildren(n *xmltree.Node) error {
+	kids := append([]*xmltree.Node{}, n.Children()...)
+	for _, c := range kids {
+		if c.Kind() == xmltree.KindElement {
+			if err := s.Delete(c); err != nil {
+				return err
+			}
+			continue
+		}
+		c.Detach()
+	}
+	return nil
+}
+
+// --- content updates --------------------------------------------------------
+
+// SetText replaces the direct text content of an element. Content
+// updates never touch labels (§3.1).
+func (s *Session) SetText(e *xmltree.Node, text string) error {
+	if e.Kind() != xmltree.KindElement {
+		return ErrNotElement
+	}
+	kids := append([]*xmltree.Node{}, e.Children()...)
+	for _, c := range kids {
+		if c.Kind() == xmltree.KindText {
+			c.Detach()
+		}
+	}
+	if text != "" {
+		if err := e.AppendChild(xmltree.NewText(text)); err != nil {
+			return err
+		}
+	}
+	s.ctr.ContentUpdates++
+	s.ctr.Operations++
+	return nil
+}
+
+// Rename changes an element or attribute name (a content update).
+func (s *Session) Rename(n *xmltree.Node, name string) error {
+	if n.Kind() != xmltree.KindElement && n.Kind() != xmltree.KindAttribute {
+		return ErrNotElement
+	}
+	n.SetName(name)
+	s.ctr.ContentUpdates++
+	s.ctr.Operations++
+	return nil
+}
+
+// --- internals ---------------------------------------------------------------
+
+func (s *Session) labelNew(n *xmltree.Node) error {
+	if err := s.lab.NodeInserted(n); err != nil {
+		return fmt.Errorf("update: label %s insert: %w", s.lab.Name(), err)
+	}
+	s.ctr.Inserts++
+	s.ctr.Operations++
+	return nil
+}
+
+func (s *Session) labelSubtree(root *xmltree.Node) error {
+	var walk func(n *xmltree.Node) error
+	walk = func(n *xmltree.Node) error {
+		if n.Kind() == xmltree.KindElement || n.Kind() == xmltree.KindAttribute {
+			if err := s.lab.NodeInserted(n); err != nil {
+				return err
+			}
+			s.ctr.Inserts++
+		}
+		for _, a := range n.Attributes() {
+			if err := walk(a); err != nil {
+				return err
+			}
+		}
+		for _, c := range n.Children() {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return fmt.Errorf("update: subtree label %s: %w", s.lab.Name(), err)
+	}
+	s.ctr.Operations++
+	return nil
+}
+
+func countLabellable(n *xmltree.Node) int {
+	if n.Kind() == xmltree.KindAttribute {
+		return 1
+	}
+	count := 1 + len(n.Attributes())
+	for _, c := range n.Children() {
+		if c.Kind() == xmltree.KindElement {
+			count += countLabellable(c)
+		}
+	}
+	return count
+}
+
+// Verify re-checks the session's core invariant: labels order exactly as
+// the document does. Schemes with the LSDX uniqueness defect fail here
+// once a collision occurs.
+func (s *Session) Verify() error {
+	return labeling.VerifyOrder(s.lab, s.doc)
+}

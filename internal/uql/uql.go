@@ -1,0 +1,374 @@
+// Package uql implements a small textual update language modelled on
+// the W3C XQuery Update Facility's updating expressions — the standard
+// whose "real-world requirement to support efficient updates to XML
+// documents" motivates the paper (§1). Statements compile to the
+// structural and content updates of internal/update, so any labelling
+// scheme maintains document order underneath them.
+//
+// Grammar (statements separated by ';'):
+//
+//	insert node <xml/> (before | after) PATH
+//	insert node <xml/> as (first | last) into PATH
+//	insert node <xml/> into PATH                  -- as last
+//	insert attribute NAME="VALUE" into PATH
+//	delete node PATH
+//	replace value of node PATH with "text"
+//	rename node PATH as NAME
+//	move node PATH (before | after | into) PATH
+//
+// PATH is a location path (see internal/xpath); it must select exactly
+// one node unless the statement is "delete node", which applies to all
+// matches (XQUF semantics).
+package uql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+	"xmldyn/internal/xpath"
+)
+
+// Errors reported by the parser and executor.
+var (
+	ErrSyntax    = errors.New("uql: syntax error")
+	ErrNoMatch   = errors.New("uql: path selected no nodes")
+	ErrAmbiguous = errors.New("uql: path selected more than one node")
+)
+
+// Op is a parsed statement.
+type Op struct {
+	Kind     OpKind
+	Fragment *xmltree.Node // detached subtree for inserts
+	Target   string        // primary path
+	Dest     string        // destination path (move)
+	Position Position
+	Name     string // rename target
+	Value    string // replace value
+}
+
+// OpKind enumerates statement kinds.
+type OpKind int
+
+// Statement kinds.
+const (
+	OpInsert OpKind = iota
+	OpInsertAttribute
+	OpDelete
+	OpReplaceValue
+	OpRename
+	OpMove
+)
+
+// Position locates an insert/move relative to the path's node.
+type Position int
+
+// Positions.
+const (
+	Before Position = iota
+	After
+	FirstInto
+	LastInto
+)
+
+// Result summarises an Apply run.
+type Result struct {
+	Statements int
+	Inserted   int
+	Deleted    int
+	Replaced   int
+	Renamed    int
+	Moved      int
+}
+
+// Parse compiles a script into operations.
+func Parse(script string) ([]Op, error) {
+	var ops []Op
+	for _, stmt := range strings.Split(script, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		op, err := parseStatement(stmt)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("%w: empty script", ErrSyntax)
+	}
+	return ops, nil
+}
+
+func parseStatement(stmt string) (Op, error) {
+	switch {
+	case strings.HasPrefix(stmt, "insert node "):
+		return parseInsert(strings.TrimPrefix(stmt, "insert node "))
+	case strings.HasPrefix(stmt, "insert attribute "):
+		return parseInsertAttribute(strings.TrimPrefix(stmt, "insert attribute "))
+	case strings.HasPrefix(stmt, "delete node "):
+		path := strings.TrimSpace(strings.TrimPrefix(stmt, "delete node "))
+		if path == "" {
+			return Op{}, fmt.Errorf("%w: delete node needs a path", ErrSyntax)
+		}
+		return Op{Kind: OpDelete, Target: path}, nil
+	case strings.HasPrefix(stmt, "replace value of node "):
+		rest := strings.TrimPrefix(stmt, "replace value of node ")
+		i := strings.Index(rest, " with ")
+		if i < 0 {
+			return Op{}, fmt.Errorf("%w: replace needs 'with'", ErrSyntax)
+		}
+		path := strings.TrimSpace(rest[:i])
+		val := strings.TrimSpace(rest[i+len(" with "):])
+		val = strings.Trim(val, `"'`)
+		if path == "" {
+			return Op{}, fmt.Errorf("%w: replace needs a path", ErrSyntax)
+		}
+		return Op{Kind: OpReplaceValue, Target: path, Value: val}, nil
+	case strings.HasPrefix(stmt, "rename node "):
+		rest := strings.TrimPrefix(stmt, "rename node ")
+		i := strings.LastIndex(rest, " as ")
+		if i < 0 {
+			return Op{}, fmt.Errorf("%w: rename needs 'as'", ErrSyntax)
+		}
+		path := strings.TrimSpace(rest[:i])
+		name := strings.TrimSpace(rest[i+len(" as "):])
+		if path == "" || name == "" || strings.ContainsAny(name, " <>/") {
+			return Op{}, fmt.Errorf("%w: rename node PATH as NAME", ErrSyntax)
+		}
+		return Op{Kind: OpRename, Target: path, Name: name}, nil
+	case strings.HasPrefix(stmt, "move node "):
+		rest := strings.TrimPrefix(stmt, "move node ")
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return Op{}, fmt.Errorf("%w: move node PATH (before|after|into) PATH", ErrSyntax)
+		}
+		pos, err := parsePosition(fields[1])
+		if err != nil {
+			return Op{}, err
+		}
+		return Op{Kind: OpMove, Target: fields[0], Position: pos, Dest: fields[2]}, nil
+	default:
+		return Op{}, fmt.Errorf("%w: unrecognised statement %q", ErrSyntax, stmt)
+	}
+}
+
+func parsePosition(kw string) (Position, error) {
+	switch kw {
+	case "before":
+		return Before, nil
+	case "after":
+		return After, nil
+	case "into":
+		return LastInto, nil
+	default:
+		return 0, fmt.Errorf("%w: position %q", ErrSyntax, kw)
+	}
+}
+
+// parseInsert handles "…<xml/> [as first|as last] (before|after|into) PATH".
+// The path is the final token and the position keywords immediately
+// precede it, so the XML fragment is everything before them — fragments
+// may contain any text, including the keywords.
+func parseInsert(rest string) (Op, error) {
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		return Op{}, fmt.Errorf("%w: insert node FRAGMENT POSITION PATH", ErrSyntax)
+	}
+	path := fields[len(fields)-1]
+	var pos Position
+	var fragEnd int
+	kw := fields[len(fields)-2]
+	switch kw {
+	case "before":
+		pos, fragEnd = Before, len(fields)-2
+	case "after":
+		pos, fragEnd = After, len(fields)-2
+	case "into":
+		// plain "into", or "as first into" / "as last into"
+		pos, fragEnd = LastInto, len(fields)-2
+		if len(fields) >= 4 && fields[len(fields)-4] == "as" {
+			switch fields[len(fields)-3] {
+			case "first":
+				pos, fragEnd = FirstInto, len(fields)-4
+			case "last":
+				pos, fragEnd = LastInto, len(fields)-4
+			default:
+				return Op{}, fmt.Errorf("%w: 'as %s into'", ErrSyntax, fields[len(fields)-3])
+			}
+		}
+	default:
+		return Op{}, fmt.Errorf("%w: missing position keyword before path", ErrSyntax)
+	}
+	fragText := strings.TrimSpace(strings.Join(fields[:fragEnd], " "))
+	if fragText == "" {
+		return Op{}, fmt.Errorf("%w: missing XML fragment", ErrSyntax)
+	}
+	fragDoc, err := xmltree.ParseString(fragText)
+	if err != nil {
+		return Op{}, fmt.Errorf("%w: fragment: %v", ErrSyntax, err)
+	}
+	frag := fragDoc.Root()
+	frag.Detach()
+	return Op{Kind: OpInsert, Fragment: frag, Target: path, Position: pos}, nil
+}
+
+// parseInsertAttribute handles `insert attribute name="value" into PATH`.
+func parseInsertAttribute(rest string) (Op, error) {
+	fields := strings.Fields(rest)
+	if len(fields) < 3 || fields[len(fields)-2] != "into" {
+		return Op{}, fmt.Errorf("%w: insert attribute NAME=\"VALUE\" into PATH", ErrSyntax)
+	}
+	path := fields[len(fields)-1]
+	spec := strings.Join(fields[:len(fields)-2], " ")
+	eq := strings.Index(spec, "=")
+	if eq <= 0 {
+		return Op{}, fmt.Errorf("%w: attribute spec %q needs NAME=\"VALUE\"", ErrSyntax, spec)
+	}
+	name := strings.TrimSpace(spec[:eq])
+	value := strings.Trim(strings.TrimSpace(spec[eq+1:]), `"'`)
+	if name == "" || strings.ContainsAny(name, " <>/") {
+		return Op{}, fmt.Errorf("%w: bad attribute name %q", ErrSyntax, name)
+	}
+	return Op{Kind: OpInsertAttribute, Target: path, Name: name, Value: value}, nil
+}
+
+// Apply parses and executes a script against a session.
+func Apply(s *update.Session, script string) (Result, error) {
+	ops, err := Parse(script)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(s, ops)
+}
+
+// Run executes parsed operations in order.
+func Run(s *update.Session, ops []Op) (Result, error) {
+	var res Result
+	eng := xpath.New(s.Document(), s.Labeling(), xpath.ModeStructural)
+	for i, op := range ops {
+		if err := runOne(s, eng, op, &res); err != nil {
+			return res, fmt.Errorf("uql: statement %d: %w", i+1, err)
+		}
+		res.Statements++
+	}
+	return res, nil
+}
+
+func runOne(s *update.Session, eng *xpath.Engine, op Op, res *Result) error {
+	selectOne := func(path string) (*xmltree.Node, error) {
+		nodes, err := eng.Query(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoMatch, path)
+		}
+		if len(nodes) > 1 {
+			return nil, fmt.Errorf("%w: %s (%d matches)", ErrAmbiguous, path, len(nodes))
+		}
+		return nodes[0], nil
+	}
+	switch op.Kind {
+	case OpInsert:
+		ref, err := selectOne(op.Target)
+		if err != nil {
+			return err
+		}
+		// Each statement inserts a fresh copy so scripts are
+		// re-runnable and fragments shareable.
+		frag := op.Fragment.Clone()
+		switch op.Position {
+		case Before:
+			err = s.InsertSubtreeBefore(ref, frag)
+		case After:
+			err = s.InsertSubtreeAfter(ref, frag)
+		case FirstInto:
+			err = s.InsertSubtreeFirst(ref, frag)
+		default:
+			err = s.AppendSubtree(ref, frag)
+		}
+		if err != nil {
+			return err
+		}
+		res.Inserted++
+		return nil
+	case OpInsertAttribute:
+		ref, err := selectOne(op.Target)
+		if err != nil {
+			return err
+		}
+		if _, err := s.SetAttr(ref, op.Name, op.Value); err != nil {
+			return err
+		}
+		res.Inserted++
+		return nil
+	case OpDelete:
+		nodes, err := eng.Query(op.Target)
+		if err != nil {
+			return err
+		}
+		if len(nodes) == 0 {
+			return fmt.Errorf("%w: %s", ErrNoMatch, op.Target)
+		}
+		for _, n := range nodes {
+			if n.Parent() == nil {
+				continue // an earlier deletion removed an ancestor
+			}
+			if err := s.Delete(n); err != nil {
+				return err
+			}
+			res.Deleted++
+		}
+		return nil
+	case OpReplaceValue:
+		n, err := selectOne(op.Target)
+		if err != nil {
+			return err
+		}
+		if n.Kind() == xmltree.KindAttribute {
+			n.SetValue(op.Value)
+		} else if err := s.SetText(n, op.Value); err != nil {
+			return err
+		}
+		res.Replaced++
+		return nil
+	case OpRename:
+		n, err := selectOne(op.Target)
+		if err != nil {
+			return err
+		}
+		if err := s.Rename(n, op.Name); err != nil {
+			return err
+		}
+		res.Renamed++
+		return nil
+	case OpMove:
+		n, err := selectOne(op.Target)
+		if err != nil {
+			return err
+		}
+		dest, err := selectOne(op.Dest)
+		if err != nil {
+			return err
+		}
+		switch op.Position {
+		case Before:
+			err = s.MoveBefore(dest, n)
+		case After:
+			err = s.MoveAfter(dest, n)
+		default:
+			err = s.MoveAppend(dest, n)
+		}
+		if err != nil {
+			return err
+		}
+		res.Moved++
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown op kind %d", ErrSyntax, op.Kind)
+	}
+}

@@ -1,0 +1,256 @@
+package uql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xmldyn/internal/schemes/qed"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+func session(t *testing.T) *update.Session {
+	t.Helper()
+	s, err := update.NewSession(xmltree.SampleBook(), qed.NewPrefix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInsertPositions(t *testing.T) {
+	s := session(t)
+	script := `
+		insert node <isbn>12345</isbn> after //author;
+		insert node <preface/> as first into /book;
+		insert node <appendix/> as last into /book;
+		insert node <colophon/> into /book;
+		insert node <dedication/> before //title`
+	res, err := Apply(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 5 || res.Statements != 5 {
+		t.Fatalf("result: %+v", res)
+	}
+	doc := s.Document()
+	kids := doc.Root().Children()
+	names := make([]string, len(kids))
+	for i, k := range kids {
+		names[i] = k.Name()
+	}
+	want := "preface,dedication,title,author,isbn,publisher,appendix,colophon"
+	if got := strings.Join(names, ","); got != want {
+		t.Fatalf("order: %s, want %s", got, want)
+	}
+	if doc.FindElement("isbn").Text() != "12345" {
+		t.Error("fragment content lost")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertNestedFragment(t *testing.T) {
+	s := session(t)
+	if _, err := Apply(s, `insert node <meta><lang code="en">English</lang></meta> into /book`); err != nil {
+		t.Fatal(err)
+	}
+	lang := s.Document().FindElement("lang")
+	if lang == nil || lang.Text() != "English" {
+		t.Fatal("nested fragment missing")
+	}
+	if v, _ := lang.Attr("code"); v != "en" {
+		t.Fatal("fragment attribute missing")
+	}
+	// Every node of the fragment is labelled.
+	if s.Labeling().Label(lang) == nil || s.Labeling().Label(lang.Attributes()[0]) == nil {
+		t.Fatal("fragment nodes unlabelled")
+	}
+}
+
+func TestDeleteAllMatches(t *testing.T) {
+	s := session(t)
+	// Deleting every element under editor: two matches.
+	res, err := Apply(s, `delete node //editor/*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 2 {
+		t.Fatalf("deleted: %d", res.Deleted)
+	}
+	if s.Document().FindElement("name") != nil {
+		t.Fatal("name survived")
+	}
+	// Ancestor-then-descendant deletion is tolerated (XQUF semantics).
+	s2 := session(t)
+	if _, err := Apply(s2, `delete node //*[name]; delete node //name`); err == nil {
+		// //name is already gone: ErrNoMatch is the expected outcome
+		t.Fatal("expected no-match for already-deleted descendant")
+	}
+}
+
+func TestReplaceAndRename(t *testing.T) {
+	s := session(t)
+	res, err := Apply(s, `
+		replace value of node //title with "Homecoming";
+		replace value of node //title/@genre with "SciFi";
+		rename node //author as writer`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replaced != 2 || res.Renamed != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	doc := s.Document()
+	if doc.FindElement("title").Text() != "Homecoming" {
+		t.Error("text replace failed")
+	}
+	if v, _ := doc.FindElement("title").Attr("genre"); v != "SciFi" {
+		t.Error("attr replace failed")
+	}
+	if doc.FindElement("writer") == nil {
+		t.Error("rename failed")
+	}
+	// Content updates never relabel.
+	if st := s.Labeling().Stats(); st.Relabeled != 0 {
+		t.Errorf("relabelled %d", st.Relabeled)
+	}
+}
+
+func TestMove(t *testing.T) {
+	s := session(t)
+	res, err := Apply(s, `move node //editor after //title; move node //edition into /book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != 2 {
+		t.Fatalf("moved: %d", res.Moved)
+	}
+	doc := s.Document()
+	if doc.FindElement("editor").Parent() != doc.Root() {
+		t.Error("editor not moved")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentContainingKeywords(t *testing.T) {
+	// Fragment text containing the word "after" must not confuse the
+	// parser: the position keyword is located from the end.
+	s := session(t)
+	if _, err := Apply(s, `insert node <note>read after dinner</note> after //author`); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Document().FindElement("note").Text(); got != "read after dinner" {
+		t.Fatalf("note text: %q", got)
+	}
+}
+
+func TestAmbiguousAndMissingPaths(t *testing.T) {
+	s := session(t)
+	if _, err := Apply(s, `insert node <x/> after //editor/*`); !errors.Is(err, ErrAmbiguous) {
+		t.Errorf("ambiguous: %v", err)
+	}
+	if _, err := Apply(s, `insert node <x/> after //missing`); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("missing: %v", err)
+	}
+	if _, err := Apply(s, `delete node //missing`); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("delete missing: %v", err)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"frobnicate node <x/> after /book",
+		"insert node after /book",
+		"insert node <x/> sideways /book",
+		"insert node <unclosed after /book",
+		"insert node <x/> as middle into /book",
+		"replace value of node //title",
+		"rename node //title",
+		"rename node //title as two words",
+		"move node //a sideways //b",
+		"move node //a //b",
+		"delete node",
+	}
+	for _, script := range bad {
+		if _, err := Parse(script); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) = %v, want ErrSyntax", script, err)
+		}
+	}
+}
+
+func TestScriptsAreRerunnable(t *testing.T) {
+	// The fragment is cloned per run: applying the same ops twice
+	// inserts two independent copies.
+	s := session(t)
+	ops, err := Parse(`insert node <tag/> into /book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, ops); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, ops); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	s.Document().WalkLabelled(func(n *xmltree.Node) bool {
+		if n.Name() == "tag" {
+			count++
+		}
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("tag copies: %d", count)
+	}
+}
+
+func TestInsertAttribute(t *testing.T) {
+	s := session(t)
+	res, err := Apply(s, `insert attribute lang="en" into //title; insert attribute rank=3 into //author`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 2 {
+		t.Fatalf("inserted: %d", res.Inserted)
+	}
+	doc := s.Document()
+	if v, ok := doc.FindElement("title").Attr("lang"); !ok || v != "en" {
+		t.Fatalf("lang attr: %q %v", v, ok)
+	}
+	if v, _ := doc.FindElement("author").Attr("rank"); v != "3" {
+		t.Fatalf("rank attr: %q", v)
+	}
+	// The new attribute nodes carry labels.
+	for _, a := range doc.FindElement("title").Attributes() {
+		if a.Name() == "lang" && s.Labeling().Label(a) == nil {
+			t.Fatal("attribute unlabelled")
+		}
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAttributeErrors(t *testing.T) {
+	for _, script := range []string{
+		`insert attribute into //title`,
+		`insert attribute noequals into //title`,
+		`insert attribute ="v" into //title`,
+		`insert attribute a="v" sideways //title`,
+		`insert attribute bad name="v" into //title`,
+	} {
+		if _, err := Parse(script); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) = %v, want ErrSyntax", script, err)
+		}
+	}
+	s := session(t)
+	if _, err := Apply(s, `insert attribute a="v" into //missing`); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("missing target: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+
+	"xmldyn/internal/schemes/dewey"
+	"xmldyn/internal/schemes/qed"
+	"xmldyn/internal/update"
+)
+
+func session(t *testing.T, nodes int) *update.Session {
+	t.Helper()
+	doc := BaseDocument(1, nodes)
+	s, err := update.NewSession(doc, qed.NewPrefix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Random: "random", Uniform: "uniform", Skewed: "skewed",
+		AppendOnly: "append-only", Churn: "churn",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: %s", k, k.String())
+		}
+	}
+}
+
+func TestApplyShapes(t *testing.T) {
+	for _, kind := range []Kind{Random, Uniform, Skewed, AppendOnly, Churn} {
+		s := session(t, 100)
+		beforeCount := s.Document().LabelledCount()
+		res, err := Apply(s, Spec{Kind: kind, Ops: 50, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Applied != 50 {
+			t.Errorf("%s: applied %d", kind, res.Applied)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		after := s.Document().LabelledCount()
+		if kind != Churn && after != beforeCount+50 {
+			t.Errorf("%s: node count %d -> %d", kind, beforeCount, after)
+		}
+	}
+}
+
+func TestSkewedHitsOnePosition(t *testing.T) {
+	s := session(t, 60)
+	doc := s.Document()
+	target := skewTarget(doc)
+	parent := target.Parent()
+	before := len(parent.Children())
+	if _, err := Apply(s, Spec{Kind: Skewed, Ops: 30, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(parent.Children()); got != before+30 {
+		t.Errorf("target's parent gained %d children, want 30", got-before)
+	}
+	// All inserted nodes sit directly before the target.
+	idx := target.Index()
+	for i := idx - 30; i < idx; i++ {
+		if parent.Children()[i].Name() != "sk" {
+			t.Fatalf("child %d is %q", i, parent.Children()[i].Name())
+		}
+	}
+}
+
+func TestUniformRotates(t *testing.T) {
+	s := session(t, 40)
+	if _, err := Apply(s, Spec{Kind: Uniform, Ops: 80, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnDeletes(t *testing.T) {
+	s := session(t, 150)
+	if _, err := Apply(s, Spec{Kind: Churn, Ops: 120, Seed: 5, DeleteRatio: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if c.Deletes == 0 {
+		t.Error("churn never deleted")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Document().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyErrorsSurface(t *testing.T) {
+	// DeweyID with a tiny document: skewed insertion relabels but never
+	// errors; an unknown kind must error.
+	doc := BaseDocument(2, 30)
+	s, err := update.NewSession(doc, dewey.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(s, Spec{Kind: Kind(99), Ops: 1}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Apply(s, Spec{Kind: Skewed, Ops: 20, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaseDocumentDeterministic(t *testing.T) {
+	a := BaseDocument(9, 120)
+	b := BaseDocument(9, 120)
+	if a.XML() != b.XML() {
+		t.Error("BaseDocument not deterministic")
+	}
+	if n := a.LabelledCount(); n < 100 || n > 140 {
+		t.Errorf("target size: %d", n)
+	}
+	if BaseDocument(9, 0).LabelledCount() < 150 {
+		t.Error("default size")
+	}
+}

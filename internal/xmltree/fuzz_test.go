@@ -1,0 +1,110 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary bytes either parse or error — the
+// parser must not panic on garbage.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseString(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseMutatedDocuments: single-byte mutations of a valid document
+// either parse to a valid tree or error cleanly.
+func TestParseMutatedDocuments(t *testing.T) {
+	base := SampleBook().XML()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 400; i++ {
+		data := []byte(base)
+		pos := rng.Intn(len(data))
+		data[pos] = byte(rng.Intn(128))
+		doc, err := ParseString(string(data))
+		if err != nil {
+			continue
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("mutation at %d parsed into an invalid tree: %v", pos, err)
+		}
+		// Whatever parsed must serialise and re-parse to itself.
+		re, err := ParseString(doc.XML())
+		if err != nil {
+			t.Fatalf("mutation at %d: reserialised form does not parse: %v\n%s", pos, err, doc.XML())
+		}
+		if re.XML() != doc.XML() {
+			t.Fatalf("mutation at %d: unstable serialisation", pos)
+		}
+	}
+}
+
+// TestDeepNesting: very deep documents parse and serialise without
+// stack trouble at realistic depths.
+func TestDeepNesting(t *testing.T) {
+	depth := 2000
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<d>")
+	}
+	sb.WriteString("x")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</d>")
+	}
+	doc, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.MaxDepth() != depth-1 {
+		t.Fatalf("depth: %d", doc.MaxDepth())
+	}
+	if _, err := ParseString(doc.XML()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHugeAttributeCount: wide attribute lists stay ordered.
+func TestHugeAttributeCount(t *testing.T) {
+	e := NewElement("e")
+	for i := 0; i < 500; i++ {
+		if _, err := e.SetAttr(attrName(i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.Attributes()) != 500 {
+		t.Fatalf("attrs: %d", len(e.Attributes()))
+	}
+	doc, _ := NewDocumentWithRoot(e)
+	re, err := ParseString(doc.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := re.Root().Attributes()
+	for i, a := range attrs {
+		if a.Name() != attrName(i) {
+			t.Fatalf("attr %d order: %s", i, a.Name())
+		}
+	}
+}
+
+func attrName(i int) string {
+	letters := "abcdefghij"
+	var sb strings.Builder
+	sb.WriteByte('a')
+	for x := i; x > 0; x /= 10 {
+		sb.WriteByte(letters[x%10])
+	}
+	return sb.String()
+}

@@ -1,0 +1,131 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions controls how textual XML is turned into a tree.
+type ParseOptions struct {
+	// KeepWhitespaceText retains text nodes that consist entirely of
+	// whitespace. The default drops them, matching the paper's example
+	// where indentation does not appear as tree nodes.
+	KeepWhitespaceText bool
+	// KeepComments retains comment nodes. Default: true-like behaviour is
+	// desired, so the flag is inverted: set DropComments to discard them.
+	DropComments bool
+	// DropProcInsts discards processing instructions.
+	DropProcInsts bool
+}
+
+// Parse reads a complete XML document from r using the default options.
+func Parse(r io.Reader) (*Document, error) {
+	return ParseWithOptions(r, ParseOptions{})
+}
+
+// ParseString parses a document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseWithOptions reads a complete XML document from r.
+func ParseWithOptions(r io.Reader, opt ParseOptions) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	doc := NewDocument()
+	cur := doc.node
+	seenRoot := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if cur == doc.node {
+				if seenRoot {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				seenRoot = true
+			}
+			e := NewElement(qname(t.Name))
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+					// Namespace declarations are kept as ordinary
+					// attributes so serialisation round-trips.
+					if _, err := e.SetAttr(xmlnsName(a.Name), a.Value); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				if _, err := e.SetAttr(qname(a.Name), a.Value); err != nil {
+					return nil, err
+				}
+			}
+			if err := cur.AppendChild(e); err != nil {
+				return nil, fmt.Errorf("xmltree: parse: %w", err)
+			}
+			cur = e
+		case xml.EndElement:
+			if cur == doc.node {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %s", qname(t.Name))
+			}
+			cur = cur.parent
+		case xml.CharData:
+			s := string(t)
+			if !opt.KeepWhitespaceText && strings.TrimSpace(s) == "" {
+				continue
+			}
+			if cur == doc.node {
+				continue // ignore stray top-level whitespace/text
+			}
+			if err := cur.AppendChild(NewText(s)); err != nil {
+				return nil, fmt.Errorf("xmltree: parse: %w", err)
+			}
+		case xml.Comment:
+			if opt.DropComments {
+				continue
+			}
+			if err := cur.AppendChild(NewComment(string(t))); err != nil {
+				return nil, fmt.Errorf("xmltree: parse: %w", err)
+			}
+		case xml.ProcInst:
+			if opt.DropProcInsts || t.Target == "xml" {
+				continue // the XML declaration is not a tree node
+			}
+			if err := cur.AppendChild(NewProcInst(t.Target, string(t.Inst))); err != nil {
+				return nil, fmt.Errorf("xmltree: parse: %w", err)
+			}
+		case xml.Directive:
+			// DOCTYPE and friends carry no tree structure; skip.
+		}
+	}
+	if cur != doc.node {
+		return nil, fmt.Errorf("xmltree: parse: unexpected EOF inside element %q", cur.name)
+	}
+	if doc.Root() == nil {
+		return nil, fmt.Errorf("xmltree: parse: no root element")
+	}
+	return doc, nil
+}
+
+func qname(n xml.Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	// encoding/xml resolves prefixes to URIs; a production system would
+	// track prefix bindings. For labelling purposes the resolved form is a
+	// stable, unique name.
+	return n.Space + ":" + n.Local
+}
+
+func xmlnsName(n xml.Name) string {
+	if n.Space == "xmlns" {
+		return "xmlns:" + n.Local
+	}
+	return "xmlns"
+}

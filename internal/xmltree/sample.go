@@ -1,0 +1,92 @@
+package xmltree
+
+// The paper's worked examples. SampleBook is the document of Figure 1(a);
+// ExampleTree is the abstract ten-node tree labelled in Figures 3-6.
+
+// SampleBookXML is the textual form of the paper's Figure 1(a).
+const SampleBookXML = `<book>
+  <title genre="Fantasy">Wayfarer</title>
+  <author>Matthew Dickens</author>
+  <publisher>
+    <editor>
+      <name>Destiny Image</name>
+      <address>USA</address>
+    </editor>
+    <edition year="2004">1.0</edition>
+  </publisher>
+</book>`
+
+// SampleBook builds the paper's sample document (Figure 1(a))
+// programmatically. Its ten labellable nodes receive the pre/post ranks of
+// Figure 1(b): book(0,9) title(1,1) genre(2,0) author(3,2) publisher(4,8)
+// editor(5,5) name(6,3) address(7,4) edition(8,7) year(9,6).
+func SampleBook() *Document {
+	doc := NewDocument()
+	book := NewElement("book")
+	_ = doc.SetRoot(book)
+
+	title := NewElement("title")
+	_, _ = title.SetAttr("genre", "Fantasy")
+	_ = title.AppendChild(NewText("Wayfarer"))
+	_ = book.AppendChild(title)
+
+	author := NewElement("author")
+	_ = author.AppendChild(NewText("Matthew Dickens"))
+	_ = book.AppendChild(author)
+
+	publisher := NewElement("publisher")
+	_ = book.AppendChild(publisher)
+
+	editor := NewElement("editor")
+	_ = publisher.AppendChild(editor)
+	name := NewElement("name")
+	_ = name.AppendChild(NewText("Destiny Image"))
+	_ = editor.AppendChild(name)
+	address := NewElement("address")
+	_ = address.AppendChild(NewText("USA"))
+	_ = editor.AppendChild(address)
+
+	edition := NewElement("edition")
+	_, _ = edition.SetAttr("year", "2004")
+	_ = edition.AppendChild(NewText("1.0"))
+	_ = publisher.AppendChild(edition)
+
+	return doc
+}
+
+// ExampleTree builds the abstract ten-node tree of Figures 3-6: a root
+// with three children A, B, C where A has two children, B one and C three.
+// Under DeweyID (Figure 3) the nodes read 1; 1.1, 1.2, 1.3; 1.1.1, 1.1.2;
+// 1.2.1; 1.3.1, 1.3.2, 1.3.3.
+func ExampleTree() *Document {
+	doc := NewDocument()
+	r := NewElement("r")
+	_ = doc.SetRoot(r)
+	a := NewElement("a")
+	b := NewElement("b")
+	c := NewElement("c")
+	_ = r.AppendChild(a)
+	_ = r.AppendChild(b)
+	_ = r.AppendChild(c)
+	_ = a.AppendChild(NewElement("a1"))
+	_ = a.AppendChild(NewElement("a2"))
+	_ = b.AppendChild(NewElement("b1"))
+	_ = c.AppendChild(NewElement("c1"))
+	_ = c.AppendChild(NewElement("c2"))
+	_ = c.AppendChild(NewElement("c3"))
+	return doc
+}
+
+// FindElement returns the first element with the given name in document
+// order, or nil.
+func (d *Document) FindElement(name string) *Node {
+	var found *Node
+	d.WalkLabelled(func(n *Node) bool {
+		if n.Kind() == KindElement && n.Name() == name {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}

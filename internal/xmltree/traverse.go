@@ -1,0 +1,159 @@
+package xmltree
+
+// Tree traversal (paper §3.1.1). Parsing an XML document in document order
+// corresponds to a preorder traversal; postorder ranks are assigned after a
+// node's children have been visited. Labellable nodes are elements and
+// attributes, with an element's attributes visited before its non-attribute
+// children — this ordering reproduces the pre/post ranks of the paper's
+// Figures 1(b) and 2 exactly.
+
+// WalkLabelled visits every labellable node (elements and attributes) of
+// the document in document (preorder) order. The visit function returns
+// false to stop the walk early.
+func (d *Document) WalkLabelled(visit func(*Node) bool) {
+	walkLabelled(d.node, visit)
+}
+
+func walkLabelled(n *Node, visit func(*Node) bool) bool {
+	if n.kind == KindElement || n.kind == KindAttribute {
+		if !visit(n) {
+			return false
+		}
+	}
+	for _, a := range n.attrs {
+		if !walkLabelled(a, visit) {
+			return false
+		}
+	}
+	for _, c := range n.kids {
+		if !walkLabelled(c, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// LabelledNodes returns all labellable nodes in document order.
+func (d *Document) LabelledNodes() []*Node {
+	var out []*Node
+	d.WalkLabelled(func(n *Node) bool { out = append(out, n); return true })
+	return out
+}
+
+// LabelledChildren returns the labellable children of n in document order:
+// attributes first, then element children. This is the sibling list over
+// which prefix schemes assign positional identifiers.
+func LabelledChildren(n *Node) []*Node {
+	out := make([]*Node, 0, len(n.attrs)+len(n.kids))
+	out = append(out, n.attrs...)
+	for _, c := range n.kids {
+		if c.kind == KindElement {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LabelledParent returns the nearest labellable ancestor of n (its element
+// parent), or nil for the root element.
+func LabelledParent(n *Node) *Node {
+	p := n.parent
+	if p == nil || p.kind == KindDocument {
+		return nil
+	}
+	return p
+}
+
+// PreRank computes the preorder traversal rank of every labellable node,
+// starting at 0 at the root element (Figure 1(b)).
+func (d *Document) PreRank() map[*Node]int {
+	ranks := make(map[*Node]int)
+	i := 0
+	d.WalkLabelled(func(n *Node) bool {
+		ranks[n] = i
+		i++
+		return true
+	})
+	return ranks
+}
+
+// PostRank computes the postorder traversal rank of every labellable node:
+// a node is ranked after all its labellable children (Figure 1(b)).
+func (d *Document) PostRank() map[*Node]int {
+	ranks := make(map[*Node]int)
+	i := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, a := range n.attrs {
+			walk(a)
+		}
+		for _, c := range n.kids {
+			walk(c)
+		}
+		if n.kind == KindElement || n.kind == KindAttribute {
+			ranks[n] = i
+			i++
+		}
+	}
+	walk(d.node)
+	return ranks
+}
+
+// DocOrderCompare returns -1, 0 or +1 according to the document order of
+// two attached nodes, computed structurally (the ground truth that label
+// comparisons are probed against).
+func DocOrderCompare(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	pa := pathTo(a)
+	pb := pathTo(b)
+	i := 0
+	for i < len(pa) && i < len(pb) && pa[i] == pb[i] {
+		i++
+	}
+	switch {
+	case i == len(pa):
+		return -1 // a is an ancestor of b: ancestors precede descendants
+	case i == len(pb):
+		return 1
+	default:
+		ca, cb := pa[i], pb[i]
+		p := ca.parent
+		// Attributes precede non-attribute children of the same parent.
+		aAttr := ca.kind == KindAttribute
+		bAttr := cb.kind == KindAttribute
+		if aAttr != bAttr {
+			if aAttr {
+				return -1
+			}
+			return 1
+		}
+		list := p.kids
+		if aAttr {
+			list = p.attrs
+		}
+		for _, c := range list {
+			if c == ca {
+				return -1
+			}
+			if c == cb {
+				return 1
+			}
+		}
+		return 0 // unreachable for a valid tree
+	}
+}
+
+// pathTo returns the chain of nodes from the root down to n, inclusive.
+func pathTo(n *Node) []*Node {
+	var rev []*Node
+	for x := n; x != nil; x = x.parent {
+		rev = append(rev, x)
+	}
+	out := make([]*Node, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFigure1PrePostRanks verifies that our traversal reproduces the
+// paper's Figure 1(b)/Figure 2 pre/post ranks for the sample document
+// exactly.
+func TestFigure1PrePostRanks(t *testing.T) {
+	doc := SampleBook()
+	pre := doc.PreRank()
+	post := doc.PostRank()
+
+	type want struct {
+		name      string
+		pre, post int
+	}
+	wants := []want{
+		{"book", 0, 9},
+		{"title", 1, 1},
+		{"genre", 2, 0},
+		{"author", 3, 2},
+		{"publisher", 4, 8},
+		{"editor", 5, 5},
+		{"name", 6, 3},
+		{"address", 7, 4},
+		{"edition", 8, 7},
+		{"year", 9, 6},
+	}
+	byName := map[string]*Node{}
+	doc.WalkLabelled(func(n *Node) bool { byName[n.Name()] = n; return true })
+	for _, w := range wants {
+		n := byName[w.name]
+		if n == nil {
+			t.Fatalf("node %q missing", w.name)
+		}
+		if pre[n] != w.pre || post[n] != w.post {
+			t.Errorf("%s: got (%d,%d), want (%d,%d)", w.name, pre[n], post[n], w.pre, w.post)
+		}
+	}
+}
+
+func TestWalkLabelledOrderAndEarlyStop(t *testing.T) {
+	doc := SampleBook()
+	var names []string
+	doc.WalkLabelled(func(n *Node) bool {
+		names = append(names, n.Name())
+		return len(names) < 3
+	})
+	if len(names) != 3 || names[0] != "book" || names[1] != "title" || names[2] != "genre" {
+		t.Fatalf("early stop walk: %v", names)
+	}
+	all := doc.LabelledNodes()
+	if len(all) != 10 {
+		t.Fatalf("labelled nodes: %d", len(all))
+	}
+}
+
+func TestLabelledChildren(t *testing.T) {
+	doc := SampleBook()
+	title := doc.FindElement("title")
+	kids := LabelledChildren(title)
+	if len(kids) != 1 || kids[0].Name() != "genre" {
+		t.Fatalf("title labelled children: %v", kids)
+	}
+	book := doc.Root()
+	kids = LabelledChildren(book)
+	if len(kids) != 3 {
+		t.Fatalf("book labelled children: %d", len(kids))
+	}
+	edition := doc.FindElement("edition")
+	kids = LabelledChildren(edition)
+	if len(kids) != 1 || kids[0].Name() != "year" {
+		t.Fatalf("edition children: %v", kids)
+	}
+	if LabelledParent(book) != nil {
+		t.Fatal("root has no labelled parent")
+	}
+	if LabelledParent(title) != book {
+		t.Fatal("title parent")
+	}
+}
+
+// TestDocOrderCompareMatchesPreorder checks the structural comparator
+// against preorder ranks on random documents.
+func TestDocOrderCompareMatchesPreorder(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		doc := Generate(GenOptions{Seed: seed, MaxDepth: 4, MaxChildren: 5, AttrProb: 0.4, TextProb: 0.3})
+		nodes := doc.LabelledNodes()
+		pre := doc.PreRank()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			got := DocOrderCompare(a, b)
+			want := sign(pre[a] - pre[b])
+			if got != want {
+				t.Fatalf("seed %d: DocOrderCompare(%s,%s)=%d, want %d", seed, a.Name(), b.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestDocOrderAncestorPrecedesDescendant(t *testing.T) {
+	doc := SampleBook()
+	book := doc.Root()
+	name := doc.FindElement("name")
+	if DocOrderCompare(book, name) != -1 || DocOrderCompare(name, book) != 1 {
+		t.Fatal("ancestor must precede descendant")
+	}
+	if DocOrderCompare(book, book) != 0 {
+		t.Fatal("self comparison must be 0")
+	}
+}
+
+func TestPostRankProperty(t *testing.T) {
+	// Property: for any two labellable nodes, a is an ancestor of d iff
+	// pre(a) < pre(d) and post(a) > post(d) (Dietz, paper §3.1.1).
+	f := func(seed int64) bool {
+		doc := Generate(GenOptions{Seed: seed % 1000, MaxDepth: 5, MaxChildren: 4, AttrProb: 0.3})
+		pre := doc.PreRank()
+		post := doc.PostRank()
+		nodes := doc.LabelledNodes()
+		for _, a := range nodes {
+			for _, d := range nodes {
+				if a == d {
+					continue
+				}
+				dietz := pre[a] < pre[d] && post[a] > post[d]
+				if dietz != a.IsAncestorOf(d) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

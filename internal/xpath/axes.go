@@ -1,0 +1,355 @@
+// Package xpath evaluates XPath axes over a labelled document. The
+// paper's "XPath Evaluations" property (§5.1) asks whether
+// ancestor-descendant, parent-child and sibling relationships can be
+// decided "from the node label alone"; this engine has two modes that
+// make the property executable: label-only mode answers every axis
+// purely from label comparisons and fails when the scheme lacks the
+// capability, and structural mode navigates the tree (the ground truth
+// the framework compares against).
+package xpath
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/xmltree"
+)
+
+// Axis identifies an XPath axis.
+type Axis int
+
+// The supported axes.
+const (
+	AxisSelf Axis = iota
+	AxisChild
+	AxisParent
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisFollowing
+	AxisPreceding
+	AxisFollowingSibling
+	AxisPrecedingSibling
+	AxisAttribute
+)
+
+// String returns the XPath name of the axis.
+func (a Axis) String() string {
+	names := [...]string{
+		"self", "child", "parent", "descendant", "descendant-or-self",
+		"ancestor", "ancestor-or-self", "following", "preceding",
+		"following-sibling", "preceding-sibling", "attribute",
+	}
+	if int(a) < len(names) {
+		return names[a]
+	}
+	return fmt.Sprintf("axis(%d)", int(a))
+}
+
+// ErrUnsupported reports that the labelling scheme cannot evaluate the
+// axis from labels alone (a Partial or None grade on the paper's XPath
+// property).
+var ErrUnsupported = errors.New("xpath: axis not supported by this labelling scheme's labels")
+
+// Mode selects how relationships are decided.
+type Mode int
+
+// Evaluation modes.
+const (
+	// ModeStructural navigates parent/child pointers (ground truth).
+	ModeStructural Mode = iota
+	// ModeLabelOnly uses only Label comparisons and the scheme's
+	// capability interfaces.
+	ModeLabelOnly
+)
+
+// Engine evaluates axes over one labelled document.
+type Engine struct {
+	doc  *xmltree.Document
+	lab  labeling.Interface
+	mode Mode
+}
+
+// New returns an engine in the given mode. The labeling must already be
+// built for doc.
+func New(doc *xmltree.Document, lab labeling.Interface, mode Mode) *Engine {
+	return &Engine{doc: doc, lab: lab, mode: mode}
+}
+
+// Select returns the nodes on the axis from ctx whose name matches
+// nameTest ("" or "*" match any), in document order.
+func (e *Engine) Select(ctx *xmltree.Node, axis Axis, nameTest string) ([]*xmltree.Node, error) {
+	var nodes []*xmltree.Node
+	var err error
+	if e.mode == ModeLabelOnly {
+		nodes, err = e.selectByLabel(ctx, axis)
+	} else {
+		nodes, err = e.selectStructural(ctx, axis)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if nameTest != "" && nameTest != "*" {
+		filtered := nodes[:0]
+		for _, n := range nodes {
+			if n.Name() == nameTest {
+				filtered = append(filtered, n)
+			}
+		}
+		nodes = filtered
+	}
+	e.sortDocOrder(nodes)
+	return nodes, nil
+}
+
+func (e *Engine) sortDocOrder(nodes []*xmltree.Node) {
+	if e.mode == ModeLabelOnly {
+		sort.SliceStable(nodes, func(i, j int) bool {
+			return e.lab.Compare(e.lab.Label(nodes[i]), e.lab.Label(nodes[j])) < 0
+		})
+		return
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		return xmltree.DocOrderCompare(nodes[i], nodes[j]) < 0
+	})
+}
+
+// --- label-only evaluation ---------------------------------------------------
+
+func (e *Engine) selectByLabel(ctx *xmltree.Node, axis Axis) ([]*xmltree.Node, error) {
+	cl := e.lab.Label(ctx)
+	if cl == nil {
+		return nil, fmt.Errorf("xpath: context node %q unlabelled", ctx.Name())
+	}
+	switch axis {
+	case AxisSelf:
+		return []*xmltree.Node{ctx}, nil
+	case AxisAttribute:
+		// Attributes are identified by the parent relationship plus
+		// node kind.
+		return e.filterLabelled(func(n *xmltree.Node, nl labeling.Label) (bool, error) {
+			if n.Kind() != xmltree.KindAttribute {
+				return false, nil
+			}
+			return e.isParent(cl, nl)
+		})
+	case AxisChild:
+		return e.filterLabelled(func(n *xmltree.Node, nl labeling.Label) (bool, error) {
+			if n.Kind() == xmltree.KindAttribute {
+				return false, nil
+			}
+			return e.isParent(cl, nl)
+		})
+	case AxisParent:
+		return e.filterLabelled(func(n *xmltree.Node, nl labeling.Label) (bool, error) {
+			return e.isParent(nl, cl)
+		})
+	case AxisDescendant, AxisDescendantOrSelf:
+		out, err := e.filterLabelled(func(n *xmltree.Node, nl labeling.Label) (bool, error) {
+			return e.isAncestor(cl, nl)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if axis == AxisDescendantOrSelf {
+			out = append(out, ctx)
+		}
+		return out, nil
+	case AxisAncestor, AxisAncestorOrSelf:
+		out, err := e.filterLabelled(func(n *xmltree.Node, nl labeling.Label) (bool, error) {
+			return e.isAncestor(nl, cl)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if axis == AxisAncestorOrSelf {
+			out = append(out, ctx)
+		}
+		return out, nil
+	case AxisFollowing:
+		return e.filterLabelled(func(n *xmltree.Node, nl labeling.Label) (bool, error) {
+			if n.Kind() == xmltree.KindAttribute {
+				return false, nil
+			}
+			if e.lab.Compare(nl, cl) <= 0 {
+				return false, nil
+			}
+			anc, err := e.isAncestor(cl, nl)
+			if err != nil {
+				return false, err
+			}
+			return !anc, nil
+		})
+	case AxisPreceding:
+		return e.filterLabelled(func(n *xmltree.Node, nl labeling.Label) (bool, error) {
+			if n.Kind() == xmltree.KindAttribute {
+				return false, nil
+			}
+			if e.lab.Compare(nl, cl) >= 0 {
+				return false, nil
+			}
+			anc, err := e.isAncestor(nl, cl)
+			if err != nil {
+				return false, err
+			}
+			return !anc, nil
+		})
+	case AxisFollowingSibling:
+		return e.filterLabelled(func(n *xmltree.Node, nl labeling.Label) (bool, error) {
+			if n.Kind() == xmltree.KindAttribute {
+				return false, nil
+			}
+			sib, err := e.isSibling(cl, nl)
+			if err != nil || !sib {
+				return false, err
+			}
+			return e.lab.Compare(nl, cl) > 0, nil
+		})
+	case AxisPrecedingSibling:
+		return e.filterLabelled(func(n *xmltree.Node, nl labeling.Label) (bool, error) {
+			if n.Kind() == xmltree.KindAttribute {
+				return false, nil
+			}
+			sib, err := e.isSibling(cl, nl)
+			if err != nil || !sib {
+				return false, err
+			}
+			return e.lab.Compare(nl, cl) < 0, nil
+		})
+	default:
+		return nil, fmt.Errorf("xpath: unknown axis %v", axis)
+	}
+}
+
+func (e *Engine) filterLabelled(pred func(n *xmltree.Node, nl labeling.Label) (bool, error)) ([]*xmltree.Node, error) {
+	var out []*xmltree.Node
+	var walkErr error
+	e.doc.WalkLabelled(func(n *xmltree.Node) bool {
+		nl := e.lab.Label(n)
+		if nl == nil {
+			return true
+		}
+		ok, err := pred(n, nl)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if ok {
+			out = append(out, n)
+		}
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return out, nil
+}
+
+func (e *Engine) isAncestor(a, d labeling.Label) (bool, error) {
+	ev, ok := e.lab.(labeling.AncestorByLabel)
+	if !ok {
+		return false, fmt.Errorf("%w: ancestor-descendant (%s)", ErrUnsupported, e.lab.Name())
+	}
+	return ev.IsAncestor(a, d), nil
+}
+
+func (e *Engine) isParent(p, c labeling.Label) (bool, error) {
+	ev, ok := e.lab.(labeling.ParentByLabel)
+	if !ok {
+		return false, fmt.Errorf("%w: parent-child (%s)", ErrUnsupported, e.lab.Name())
+	}
+	return ev.IsParent(p, c), nil
+}
+
+func (e *Engine) isSibling(a, b labeling.Label) (bool, error) {
+	ev, ok := e.lab.(labeling.SiblingByLabel)
+	if !ok {
+		return false, fmt.Errorf("%w: sibling (%s)", ErrUnsupported, e.lab.Name())
+	}
+	return ev.IsSibling(a, b), nil
+}
+
+// --- structural evaluation ---------------------------------------------------
+
+func (e *Engine) selectStructural(ctx *xmltree.Node, axis Axis) ([]*xmltree.Node, error) {
+	switch axis {
+	case AxisSelf:
+		return []*xmltree.Node{ctx}, nil
+	case AxisAttribute:
+		return append([]*xmltree.Node{}, ctx.Attributes()...), nil
+	case AxisChild:
+		var out []*xmltree.Node
+		for _, c := range ctx.Children() {
+			if c.Kind() == xmltree.KindElement {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	case AxisParent:
+		if p := xmltree.LabelledParent(ctx); p != nil {
+			return []*xmltree.Node{p}, nil
+		}
+		return nil, nil
+	case AxisDescendant, AxisDescendantOrSelf:
+		var out []*xmltree.Node
+		e.doc.WalkLabelled(func(n *xmltree.Node) bool {
+			if ctx.IsAncestorOf(n) {
+				out = append(out, n)
+			}
+			return true
+		})
+		if axis == AxisDescendantOrSelf {
+			out = append(out, ctx)
+		}
+		return out, nil
+	case AxisAncestor, AxisAncestorOrSelf:
+		var out []*xmltree.Node
+		for p := xmltree.LabelledParent(ctx); p != nil; p = xmltree.LabelledParent(p) {
+			out = append(out, p)
+		}
+		if axis == AxisAncestorOrSelf {
+			out = append(out, ctx)
+		}
+		return out, nil
+	case AxisFollowing:
+		return e.orderFiltered(ctx, func(n *xmltree.Node) bool {
+			return xmltree.DocOrderCompare(n, ctx) > 0 && !ctx.IsAncestorOf(n)
+		}), nil
+	case AxisPreceding:
+		return e.orderFiltered(ctx, func(n *xmltree.Node) bool {
+			return xmltree.DocOrderCompare(n, ctx) < 0 && !n.IsAncestorOf(ctx)
+		}), nil
+	case AxisFollowingSibling:
+		var out []*xmltree.Node
+		for s := ctx.NextSibling(); s != nil; s = s.NextSibling() {
+			if s.Kind() == xmltree.KindElement {
+				out = append(out, s)
+			}
+		}
+		return out, nil
+	case AxisPrecedingSibling:
+		var out []*xmltree.Node
+		for s := ctx.PrevSibling(); s != nil; s = s.PrevSibling() {
+			if s.Kind() == xmltree.KindElement {
+				out = append(out, s)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("xpath: unknown axis %v", axis)
+	}
+}
+
+func (e *Engine) orderFiltered(ctx *xmltree.Node, keep func(*xmltree.Node) bool) []*xmltree.Node {
+	var out []*xmltree.Node
+	e.doc.WalkLabelled(func(n *xmltree.Node) bool {
+		if n != ctx && n.Kind() != xmltree.KindAttribute && keep(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}

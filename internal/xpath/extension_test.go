@@ -1,0 +1,143 @@
+package xpath_test
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/schemes/dde"
+	"xmldyn/internal/schemes/prime"
+	"xmldyn/internal/schemes/vector"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+	"xmldyn/internal/xpath"
+)
+
+// TestExtensionSchemesLabelOnly checks the §6 extension schemes through
+// the label-only engine: prime answers AD (divisibility) and PC (level)
+// but not sibling; DDE answers all three via proportionality.
+func TestExtensionSchemesLabelOnly(t *testing.T) {
+	doc := xmltree.SampleBook()
+	primeLab := prime.New()
+	if err := primeLab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	e := xpath.New(doc, primeLab, xpath.ModeLabelOnly)
+	editor := doc.FindElement("editor")
+	desc, err := e.Select(editor, xpath.AxisDescendant, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names(desc) != "name,address" {
+		t.Errorf("prime descendants: %q", names(desc))
+	}
+	if _, err := e.Select(editor, xpath.AxisChild, ""); err != nil {
+		t.Fatalf("prime child axis (via level): %v", err)
+	}
+	if _, err := e.Select(editor, xpath.AxisFollowingSibling, ""); !errors.Is(err, xpath.ErrUnsupported) {
+		t.Fatalf("prime sibling axis: %v", err)
+	}
+
+	doc2 := xmltree.SampleBook()
+	ddeLab := dde.New()
+	if err := ddeLab.Build(doc2); err != nil {
+		t.Fatal(err)
+	}
+	e2 := xpath.New(doc2, ddeLab, xpath.ModeLabelOnly)
+	truth := xpath.New(doc2, ddeLab, xpath.ModeStructural)
+	for _, ax := range []xpath.Axis{
+		xpath.AxisDescendant, xpath.AxisAncestor, xpath.AxisChild,
+		xpath.AxisParent, xpath.AxisFollowingSibling, xpath.AxisPreceding,
+	} {
+		ctx := doc2.FindElement("editor")
+		got, err := e2.Select(ctx, ax, "")
+		if err != nil {
+			t.Fatalf("dde %v: %v", ax, err)
+		}
+		want, err := truth.Select(ctx, ax, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if names(got) != names(want) {
+			t.Errorf("dde %v: %q != %q", ax, names(got), names(want))
+		}
+	}
+}
+
+// TestDDELabelOnlyAfterUpdates stresses the proportionality tests after
+// mediant insertions change the literal prefixes.
+func TestDDELabelOnlyAfterUpdates(t *testing.T) {
+	doc := xmltree.ExampleTree()
+	s, err := update.NewSession(doc, dde.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := doc.FindElement("c1")
+	for i := 0; i < 6; i++ {
+		if _, err := s.InsertAfter(c1, "w"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lab := s.Labeling()
+	e := xpath.New(doc, lab, xpath.ModeLabelOnly)
+	truth := xpath.New(doc, lab, xpath.ModeStructural)
+	for _, ctx := range doc.LabelledNodes() {
+		if ctx.Kind() != xmltree.KindElement {
+			continue
+		}
+		for _, ax := range []xpath.Axis{xpath.AxisChild, xpath.AxisDescendant, xpath.AxisFollowingSibling} {
+			got, err := e.Select(ctx, ax, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := truth.Select(ctx, ax, "")
+			if names(got) != names(want) {
+				t.Fatalf("%s at %s: %q != %q", ax, ctx.Name(), names(got), names(want))
+			}
+		}
+	}
+}
+
+// TestVectorRangeLabelOnly: the containment mounting answers AD but not
+// PC/sibling — the published Partial grade for the vector scheme.
+func TestVectorRangeLabelOnly(t *testing.T) {
+	doc := xmltree.SampleBook()
+	lab := vector.NewRange()
+	if err := lab.Build(doc); err != nil {
+		t.Fatal(err)
+	}
+	e := xpath.New(doc, lab, xpath.ModeLabelOnly)
+	book := doc.FindElement("book")
+	desc, err := e.Select(book, xpath.AxisDescendant, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 9 {
+		t.Errorf("book descendants: %d", len(desc))
+	}
+	if _, err := e.Select(book, xpath.AxisChild, ""); !errors.Is(err, xpath.ErrUnsupported) {
+		t.Errorf("vector-range child: %v", err)
+	}
+}
+
+// TestLabelOnlyQueryViaCompare: axes that need only document order
+// (following/preceding) work for every scheme, even capability-poor
+// ones, because Compare is part of the base contract.
+func TestLabelOnlyQueryViaCompare(t *testing.T) {
+	schemes := []labeling.Interface{prime.New(), vector.NewRange()}
+	for _, lab := range schemes {
+		doc := xmltree.SampleBook()
+		if err := lab.Build(doc); err != nil {
+			t.Fatal(err)
+		}
+		e := xpath.New(doc, lab, xpath.ModeLabelOnly)
+		editor := doc.FindElement("editor")
+		following, err := e.Select(editor, xpath.AxisFollowing, "")
+		if err != nil {
+			t.Fatalf("%s: %v", lab.Name(), err)
+		}
+		if names(following) != "edition" {
+			t.Errorf("%s following: %q", lab.Name(), names(following))
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xmldyn/internal/xmltree"
+)
+
+// Query evaluates a location path against the document and returns the
+// matching nodes in document order. The supported grammar is the core
+// fragment the paper's motivating workloads need:
+//
+//	path      := ("/" | "//") step (("/" | "//") step)*
+//	step      := nametest predicate* | "@" name
+//	nametest  := name | "*"
+//	predicate := "[" integer "]"            positional
+//	           | "[@" name "]"              attribute presence
+//	           | "[@" name "='" value "']"  attribute equality
+//	           | "[" name "]"               child-element presence
+//
+// Examples: /book/publisher//name, //edition[@year='2004'], /book/*[2].
+func (e *Engine) Query(path string) ([]*xmltree.Node, error) {
+	steps, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	root := e.doc.Root()
+	if root == nil {
+		return nil, fmt.Errorf("xpath: empty document")
+	}
+	// The initial context is the document: the first step selects the
+	// root element (child axis) or any element (descendant axis).
+	current := []*xmltree.Node{e.doc.Node()}
+	for _, st := range steps {
+		var next []*xmltree.Node
+		seen := make(map[*xmltree.Node]bool)
+		for _, ctx := range current {
+			nodes, err := e.stepFrom(ctx, st)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range nodes {
+				if !seen[n] {
+					seen[n] = true
+					next = append(next, n)
+				}
+			}
+		}
+		next, err = e.applyPredicates(next, st)
+		if err != nil {
+			return nil, err
+		}
+		current = next
+	}
+	e.sortDocOrder(current)
+	return current, nil
+}
+
+type step struct {
+	deep      bool // came via //
+	attribute bool
+	name      string
+	preds     []predicate
+}
+
+type predicate struct {
+	position int    // 1-based; 0 when unset
+	attr     string // attribute presence/equality
+	value    string // attribute value; "" with attrEq=false means presence
+	attrEq   bool
+	child    string // child element presence
+}
+
+func parsePath(path string) ([]step, error) {
+	if path == "" {
+		return nil, fmt.Errorf("xpath: empty path")
+	}
+	if path[0] != '/' {
+		return nil, fmt.Errorf("xpath: path must start with / or //")
+	}
+	var steps []step
+	i := 0
+	for i < len(path) {
+		deep := false
+		if !strings.HasPrefix(path[i:], "/") {
+			return nil, fmt.Errorf("xpath: expected / at %d in %q", i, path)
+		}
+		i++
+		if i < len(path) && path[i] == '/' {
+			deep = true
+			i++
+		}
+		j := i
+		for j < len(path) && path[j] != '/' && path[j] != '[' {
+			j++
+		}
+		raw := path[i:j]
+		if raw == "" {
+			return nil, fmt.Errorf("xpath: empty step at %d in %q", i, path)
+		}
+		st := step{deep: deep}
+		if raw[0] == '@' {
+			st.attribute = true
+			st.name = raw[1:]
+		} else {
+			st.name = raw
+		}
+		i = j
+		for i < len(path) && path[i] == '[' {
+			end := strings.IndexByte(path[i:], ']')
+			if end < 0 {
+				return nil, fmt.Errorf("xpath: unterminated predicate in %q", path)
+			}
+			p, err := parsePredicate(path[i+1 : i+end])
+			if err != nil {
+				return nil, err
+			}
+			st.preds = append(st.preds, p)
+			i += end + 1
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+func parsePredicate(s string) (predicate, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return predicate{}, fmt.Errorf("xpath: empty predicate")
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 1 {
+			return predicate{}, fmt.Errorf("xpath: position %d out of range", n)
+		}
+		return predicate{position: n}, nil
+	}
+	if s[0] == '@' {
+		rest := s[1:]
+		if eq := strings.Index(rest, "="); eq >= 0 {
+			name := rest[:eq]
+			val := strings.Trim(rest[eq+1:], `'"`)
+			return predicate{attr: name, value: val, attrEq: true}, nil
+		}
+		return predicate{attr: rest}, nil
+	}
+	return predicate{child: s}, nil
+}
+
+func (e *Engine) stepFrom(ctx *xmltree.Node, st step) ([]*xmltree.Node, error) {
+	if st.attribute {
+		if st.deep {
+			// //@name: attributes of any descendant-or-self element.
+			var out []*xmltree.Node
+			e.collectElements(ctx, true, func(n *xmltree.Node) {
+				for _, a := range n.Attributes() {
+					if st.name == "*" || a.Name() == st.name {
+						out = append(out, a)
+					}
+				}
+			})
+			return out, nil
+		}
+		var out []*xmltree.Node
+		for _, a := range ctx.Attributes() {
+			if st.name == "*" || a.Name() == st.name {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	}
+	var out []*xmltree.Node
+	if st.deep {
+		e.collectElements(ctx, false, func(n *xmltree.Node) {
+			if st.name == "*" || n.Name() == st.name {
+				out = append(out, n)
+			}
+		})
+		return out, nil
+	}
+	for _, c := range ctx.Children() {
+		if c.Kind() != xmltree.KindElement {
+			continue
+		}
+		if st.name == "*" || c.Name() == st.name {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// collectElements visits the element descendants of ctx (and ctx itself
+// when includeSelf is set and ctx is an element).
+func (e *Engine) collectElements(ctx *xmltree.Node, includeSelf bool, visit func(*xmltree.Node)) {
+	if includeSelf && ctx.Kind() == xmltree.KindElement {
+		visit(ctx)
+	}
+	for _, c := range ctx.Children() {
+		if c.Kind() != xmltree.KindElement {
+			continue
+		}
+		visit(c)
+		e.collectElements(c, false, visit)
+	}
+}
+
+func (e *Engine) applyPredicates(nodes []*xmltree.Node, st step) ([]*xmltree.Node, error) {
+	for _, p := range st.preds {
+		var kept []*xmltree.Node
+		switch {
+		case p.position > 0:
+			if p.position <= len(nodes) {
+				kept = []*xmltree.Node{nodes[p.position-1]}
+			}
+		case p.attrEq:
+			for _, n := range nodes {
+				if v, ok := n.Attr(p.attr); ok && v == p.value {
+					kept = append(kept, n)
+				}
+			}
+		case p.attr != "":
+			for _, n := range nodes {
+				if _, ok := n.Attr(p.attr); ok {
+					kept = append(kept, n)
+				}
+			}
+		case p.child != "":
+			for _, n := range nodes {
+				for _, c := range n.Children() {
+					if c.Kind() == xmltree.KindElement && c.Name() == p.child {
+						kept = append(kept, n)
+						break
+					}
+				}
+			}
+		}
+		nodes = kept
+	}
+	return nodes, nil
+}

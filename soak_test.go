@@ -1,0 +1,73 @@
+package xmldyn
+
+// Scale soak tests: the "very large documents" scenario of §5.2 at a
+// size that still runs in seconds. Skipped under -short.
+
+import (
+	"testing"
+
+	"xmldyn/internal/core"
+	"xmldyn/internal/update"
+	"xmldyn/internal/workload"
+)
+
+func TestSoakLargeDocumentBulk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	doc := workload.BaseDocument(77, 100000)
+	n := doc.LabelledCount()
+	if n < 80000 {
+		t.Fatalf("generator undershot: %d nodes", n)
+	}
+	for _, name := range []string{"qed", "cdqs", "deweyid", "xpath-accelerator", "vector"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			lab := core.MustScheme(name).Factory()
+			if err := lab.Build(doc); err != nil {
+				t.Fatal(err)
+			}
+			// Spot-check order on a sample rather than all ~100k
+			// adjacent pairs per scheme.
+			nodes := doc.LabelledNodes()
+			step := len(nodes) / 500
+			for i := step; i < len(nodes); i += step {
+				a, b := lab.Label(nodes[i-step]), lab.Label(nodes[i])
+				if lab.Compare(a, b) >= 0 {
+					t.Fatalf("order violated near %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestSoakStormTenThousandOps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	doc := workload.BaseDocument(78, 5000)
+	s, err := update.NewSession(doc, core.MustScheme("cdqs").Factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []workload.Spec{
+		{Kind: workload.Random, Ops: 4000, Seed: 1},
+		{Kind: workload.Skewed, Ops: 2000, Seed: 2},
+		{Kind: workload.Churn, Ops: 4000, Seed: 3, DeleteRatio: 0.45},
+	} {
+		if _, err := workload.Apply(s, spec); err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+	}
+	st := s.Labeling().Stats()
+	if st.Relabeled != 0 || st.OverflowEvents != 0 {
+		t.Fatalf("CDQS under 10k-op soak: %+v", *st)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Document().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

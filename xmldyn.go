@@ -1,0 +1,332 @@
+// Package xmldyn is a library of dynamic XML labelling schemes and
+// update mechanisms, reproducing O'Connor & Roantree, "Desirable
+// Properties for XML Update Mechanisms" (Updates in XML, EDBT 2010
+// Workshops).
+//
+// The library implements every labelling scheme the paper surveys —
+// containment schemes (XPath Accelerator, XRel, Sector, QRS) and prefix
+// schemes (DeweyID, ORDPATH, DLN, LSDX, Com-D, ImprovedBinary, QED,
+// CDBS, CDQS, Vector) plus the Prime and DDE schemes its conclusion
+// queues up — together with the substrates they need: an XML tree model
+// and parser, structural/content update mechanics with document-order
+// maintenance, an encoding scheme (Definition 2), an XPath axis engine
+// that evaluates relationships from labels alone, and the paper's §5
+// evaluation framework with both the published Figure 7 matrix and a
+// measured one derived from live probes.
+//
+// Quick start:
+//
+//	doc, _ := xmldyn.ParseString("<a><b/><c/></a>")
+//	s, _ := xmldyn.Open(doc, "qed")
+//	b := doc.FindElement("b")
+//	n, _ := s.InsertAfter(b, "new")
+//	fmt.Println(s.Labeling().Label(n)) // a QED label strictly between b and c
+package xmldyn
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xmldyn/internal/core"
+	"xmldyn/internal/encoding"
+	"xmldyn/internal/figures"
+	"xmldyn/internal/labeling"
+	"xmldyn/internal/store"
+	"xmldyn/internal/update"
+	"xmldyn/internal/uql"
+	"xmldyn/internal/workload"
+	"xmldyn/internal/xmltree"
+	"xmldyn/internal/xpath"
+)
+
+// Core data model re-exports.
+type (
+	// Document is an XML document tree (paper §2.1).
+	Document = xmltree.Document
+	// Node is one tree node: element, attribute, text, comment or PI.
+	Node = xmltree.Node
+	// Kind identifies a node's type.
+	Kind = xmltree.Kind
+	// Labeling is a dynamic labelling scheme instance bound to a
+	// document (paper Definition 1 plus update maintenance).
+	Labeling = labeling.Interface
+	// Label is a scheme-specific node label.
+	Label = labeling.Label
+	// LabelStats instruments a labeling: relabel counts are the
+	// Persistent-Labels property made measurable.
+	LabelStats = labeling.Stats
+	// Session couples a document with a labeling and applies updates
+	// (paper §3: structural and content updates).
+	Session = update.Session
+	// EncodedDocument is the Definition 2 encoding scheme over a
+	// labelled document.
+	EncodedDocument = encoding.Document
+	// EncodingRow is one row of the Figure 2 table.
+	EncodingRow = encoding.Row
+	// Engine evaluates XPath axes and location paths.
+	Engine = xpath.Engine
+	// Axis is an XPath axis.
+	Axis = xpath.Axis
+	// Assessment is one row of the §5 evaluation matrix.
+	Assessment = core.Assessment
+	// Property is one of the framework's graded properties.
+	Property = core.Property
+	// Compliance is the F/P/N grade.
+	Compliance = core.Compliance
+	// ProbeConfig sizes the framework's measurement workloads.
+	ProbeConfig = core.ProbeConfig
+	// Report carries the raw measurements behind an Assessment.
+	Report = core.Report
+	// WorkloadSpec describes an update stream (§5.1 scenarios).
+	WorkloadSpec = workload.Spec
+)
+
+// Node kinds.
+const (
+	KindDocument  = xmltree.KindDocument
+	KindElement   = xmltree.KindElement
+	KindAttribute = xmltree.KindAttribute
+	KindText      = xmltree.KindText
+	KindComment   = xmltree.KindComment
+	KindProcInst  = xmltree.KindProcInst
+)
+
+// XPath axes.
+const (
+	AxisSelf             = xpath.AxisSelf
+	AxisChild            = xpath.AxisChild
+	AxisParent           = xpath.AxisParent
+	AxisDescendant       = xpath.AxisDescendant
+	AxisDescendantOrSelf = xpath.AxisDescendantOrSelf
+	AxisAncestor         = xpath.AxisAncestor
+	AxisAncestorOrSelf   = xpath.AxisAncestorOrSelf
+	AxisFollowing        = xpath.AxisFollowing
+	AxisPreceding        = xpath.AxisPreceding
+	AxisFollowingSibling = xpath.AxisFollowingSibling
+	AxisPrecedingSibling = xpath.AxisPrecedingSibling
+	AxisAttribute        = xpath.AxisAttribute
+)
+
+// Workload shapes (§5.1).
+const (
+	WorkloadRandom     = workload.Random
+	WorkloadUniform    = workload.Uniform
+	WorkloadSkewed     = workload.Skewed
+	WorkloadAppendOnly = workload.AppendOnly
+	WorkloadChurn      = workload.Churn
+)
+
+// Framework properties (Figure 7 columns).
+const (
+	PersistentLabels = core.PersistentLabels
+	XPathEvaluations = core.XPathEvaluations
+	LevelEncoding    = core.LevelEncoding
+	OverflowFree     = core.OverflowFree
+	Orthogonal       = core.Orthogonal
+	CompactEncoding  = core.CompactEncoding
+	DivisionFree     = core.DivisionFree
+	NonRecursiveInit = core.NonRecursiveInit
+)
+
+// Parse reads an XML document.
+func Parse(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// NewElement returns a detached element for subtree construction.
+func NewElement(name string) *Node { return xmltree.NewElement(name) }
+
+// NewText returns a detached text node.
+func NewText(value string) *Node { return xmltree.NewText(value) }
+
+// SampleBook returns the paper's Figure 1(a) sample document.
+func SampleBook() *Document { return xmltree.SampleBook() }
+
+// ExampleTree returns the ten-node tree of the paper's Figures 3-6.
+func ExampleTree() *Document { return xmltree.ExampleTree() }
+
+// Schemes lists every registered labelling scheme name, sorted.
+func Schemes() []string {
+	reg := core.Registry()
+	out := make([]string, len(reg))
+	for i, s := range reg {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewLabeling returns a fresh, unbound labeling for the named scheme.
+func NewLabeling(scheme string) (Labeling, error) {
+	s, ok := core.SchemeByName(scheme)
+	if !ok {
+		return nil, fmt.Errorf("xmldyn: unknown scheme %q (known: %v)", scheme, Schemes())
+	}
+	return s.Factory(), nil
+}
+
+// Open labels doc with the named scheme and returns an update session.
+func Open(doc *Document, scheme string) (*Session, error) {
+	lab, err := NewLabeling(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return update.NewSession(doc, lab)
+}
+
+// OpenWith labels doc with a caller-supplied labeling.
+func OpenWith(doc *Document, lab Labeling) (*Session, error) {
+	return update.NewSession(doc, lab)
+}
+
+// Encode builds the Definition 2 encoding table over a session's
+// labelled document.
+func Encode(s *Session) *EncodedDocument {
+	return encoding.Wrap(s.Document(), s.Labeling())
+}
+
+// Reconstruct rebuilds a document from encoding rows (Definition 2's
+// reconstruction requirement).
+func Reconstruct(rows []EncodingRow) (*Document, error) {
+	return encoding.Reconstruct(rows)
+}
+
+// Save serialises a session's encoded document to the binary snapshot
+// format of internal/store (scheme name, labels, encoding rows,
+// checksum).
+func Save(s *Session) ([]byte, error) {
+	return store.Marshal(Encode(s))
+}
+
+// Snapshot is a decoded binary snapshot.
+type Snapshot = store.Snapshot
+
+// Load decodes a snapshot produced by Save.
+func Load(data []byte) (*Snapshot, error) { return store.Unmarshal(data) }
+
+// Restore rebuilds the document from a snapshot and reopens it under
+// the snapshot's scheme.
+func Restore(data []byte) (*Session, error) {
+	snap, err := store.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := snap.Rebuild()
+	if err != nil {
+		return nil, err
+	}
+	return Open(doc, snap.Scheme)
+}
+
+// Query evaluates a location path (see Engine.Query for the grammar)
+// over a session's document using structural navigation.
+func Query(s *Session, path string) ([]*Node, error) {
+	return xpath.New(s.Document(), s.Labeling(), xpath.ModeStructural).Query(path)
+}
+
+// LabelQuery returns an engine that answers axes purely from label
+// comparisons — the paper's "from the node label alone" XPath property.
+// Axes the scheme cannot decide return xpath.ErrUnsupported.
+func LabelQuery(s *Session) *Engine {
+	return xpath.New(s.Document(), s.Labeling(), xpath.ModeLabelOnly)
+}
+
+// ErrAxisUnsupported is returned by label-only engines for axes the
+// scheme's labels cannot decide.
+var ErrAxisUnsupported = xpath.ErrUnsupported
+
+// ApplyWorkload drives a session through one of the §5.1 update
+// scenarios.
+func ApplyWorkload(s *Session, spec WorkloadSpec) error {
+	_, err := workload.Apply(s, spec)
+	return err
+}
+
+// UpdateResult summarises an ApplyUpdates run.
+type UpdateResult = uql.Result
+
+// ApplyUpdates executes an XQuery-Update-Facility-style script against
+// the session (see internal/uql for the grammar):
+//
+//	insert node <isbn>1</isbn> after //author;
+//	replace value of node //title with "Homecoming";
+//	delete node //edition
+func ApplyUpdates(s *Session, script string) (UpdateResult, error) {
+	return uql.Apply(s, script)
+}
+
+// PublishedMatrix returns the paper's Figure 7 verbatim.
+func PublishedMatrix() []Assessment { return core.PublishedMatrix() }
+
+// MeasuredMatrix evaluates every registered scheme with the framework
+// probes and returns the measured matrix rows with their reports.
+func MeasuredMatrix(cfg ProbeConfig) ([]Assessment, []*Report, error) {
+	return core.EvaluateAll(cfg)
+}
+
+// DefaultProbeConfig returns the standard probe sizes.
+func DefaultProbeConfig() ProbeConfig { return core.DefaultProbeConfig() }
+
+// EvaluateScheme measures a single scheme against the framework.
+func EvaluateScheme(name string, cfg ProbeConfig) (Assessment, *Report, error) {
+	s, ok := core.SchemeByName(name)
+	if !ok {
+		return Assessment{}, nil, fmt.Errorf("xmldyn: unknown scheme %q", name)
+	}
+	return core.Evaluate(s, cfg)
+}
+
+// RenderMatrix writes matrix rows in the Figure 7 layout.
+func RenderMatrix(w io.Writer, rows []Assessment) error {
+	return core.RenderMatrix(w, rows)
+}
+
+// Advisor types: the §5.2 selection guidance as code.
+type (
+	// Requirements captures what a repository needs from its scheme.
+	Requirements = core.Requirements
+	// Recommendation is one ranked advisor result.
+	Recommendation = core.Recommendation
+	// Profile names a built-in selection scenario.
+	Profile = core.Profile
+)
+
+// Built-in advisor profiles (§5.2's worked examples and relatives).
+const (
+	ProfileVersionControl = core.ProfileVersionControl
+	ProfileLargeDocuments = core.ProfileLargeDocuments
+	ProfileQueryHeavy     = core.ProfileQueryHeavy
+	ProfileGeneral        = core.ProfileGeneral
+)
+
+// Recommend ranks matrix rows against requirements (use
+// PublishedMatrix() rows, or MeasuredMatrix(...) rows for grades probed
+// from the live implementations).
+func Recommend(rows []Assessment, req Requirements) []Recommendation {
+	return core.Recommend(rows, req)
+}
+
+// RecommendProfile runs a named profile against the published matrix.
+func RecommendProfile(p Profile) ([]Recommendation, error) {
+	req, err := core.ProfileRequirements(p)
+	if err != nil {
+		return nil, err
+	}
+	return core.Recommend(core.PublishedMatrix(), req), nil
+}
+
+// Figure renders the paper's figure n (1-6) from the live
+// implementations.
+func Figure(n int) (string, error) { return figures.Figure(n) }
+
+// MeanLabelBits reports the average label storage cost of a session's
+// document.
+func MeanLabelBits(s *Session) float64 {
+	return labeling.MeanBits(s.Labeling(), s.Document())
+}
+
+// VerifyOrder re-checks that the session's labels order exactly as the
+// document does — the §1 invariant every dynamic scheme must maintain.
+func VerifyOrder(s *Session) error { return s.Verify() }

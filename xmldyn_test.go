@@ -1,0 +1,278 @@
+package xmldyn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	doc, err := ParseString("<a><b/><c/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(doc, "qed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.FindElement("b")
+	n, err := s.InsertAfter(b, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := s.Labeling().Label(b)
+	ln := s.Labeling().Label(n)
+	lc := s.Labeling().Label(doc.FindElement("c"))
+	if s.Labeling().Compare(lb, ln) >= 0 || s.Labeling().Compare(ln, lc) >= 0 {
+		t.Fatalf("inserted label %s not between %s and %s", ln, lb, lc)
+	}
+	if err := VerifyOrder(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemesRegistry(t *testing.T) {
+	names := Schemes()
+	if len(names) < 16 {
+		t.Fatalf("schemes: %v", names)
+	}
+	for _, want := range []string{"qed", "cdqs", "deweyid", "ordpath", "vector", "prime", "dde", "xpath-accelerator"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scheme %s missing from %v", want, names)
+		}
+	}
+	if _, err := NewLabeling("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Open(SampleBook(), "nope"); err == nil {
+		t.Error("Open with unknown scheme accepted")
+	}
+}
+
+func TestEveryRegisteredSchemeOpensAndUpdates(t *testing.T) {
+	for _, name := range Schemes() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s, err := Open(SampleBook(), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pub := s.Document().FindElement("publisher")
+			if _, err := s.InsertAfter(pub, "isbn"); err != nil {
+				t.Fatal(err)
+			}
+			if MeanLabelBits(s) <= 0 {
+				t.Error("no label bits")
+			}
+		})
+	}
+}
+
+func TestEncodeAndReconstruct(t *testing.T) {
+	s, err := Open(SampleBook(), "deweyid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Encode(s).Table()
+	if len(rows) != 10 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	re, err := Reconstruct(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.XML() != SampleBook().XML() {
+		t.Fatal("reconstruction mismatch")
+	}
+}
+
+func TestQueryFacade(t *testing.T) {
+	s, err := Open(SampleBook(), "ordpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Query(s, "/book/publisher//name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name() != "name" {
+		t.Fatalf("query result: %v", got)
+	}
+}
+
+func TestLabelQueryCapabilities(t *testing.T) {
+	full, err := Open(SampleBook(), "qed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := LabelQuery(full)
+	editor := full.Document().FindElement("editor")
+	if _, err := eng.Select(editor, AxisFollowingSibling, ""); err != nil {
+		t.Fatalf("qed sibling axis: %v", err)
+	}
+	partial, err := Open(SampleBook(), "qrs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng = LabelQuery(partial)
+	editor = partial.Document().FindElement("editor")
+	if _, err := eng.Select(editor, AxisFollowingSibling, ""); !errors.Is(err, ErrAxisUnsupported) {
+		t.Fatalf("qrs sibling axis: %v", err)
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	s, err := Open(ExampleTree(), "cdqs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyWorkload(s, WorkloadSpec{Kind: WorkloadSkewed, Ops: 50, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Labeling().Stats(); st.Relabeled != 0 {
+		t.Errorf("cdqs relabelled %d", st.Relabeled)
+	}
+}
+
+func TestMatrixFacade(t *testing.T) {
+	pub := PublishedMatrix()
+	if len(pub) != 12 {
+		t.Fatalf("published rows: %d", len(pub))
+	}
+	var sb strings.Builder
+	if err := RenderMatrix(&sb, pub); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cdqs") {
+		t.Error("render missing cdqs")
+	}
+	cfg := DefaultProbeConfig()
+	cfg.BaseNodes, cfg.StormOps, cfg.SkewedOps, cfg.ZigzagOps, cfg.XPathNodes = 60, 60, 120, 40, 24
+	a, rep, err := EvaluateScheme("qed", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Grade(OverflowFree) != Compliance(2) { // Full
+		t.Errorf("qed overflow grade: %v (report %+v)", a.Grade(OverflowFree), *rep)
+	}
+	if _, _, err := EvaluateScheme("nope", cfg); err == nil {
+		t.Error("unknown scheme evaluated")
+	}
+}
+
+func TestFigureFacade(t *testing.T) {
+	out, err := Figure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1.5.2.1") {
+		t.Errorf("figure 4 via facade:\n%s", out)
+	}
+}
+
+func TestSaveRestore(t *testing.T) {
+	s, err := Open(SampleBook(), "cdqs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertAfter(s.Document().FindElement("author"), "series"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Save(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scheme != "cdqs" || len(snap.Rows) != 11 {
+		t.Fatalf("snapshot: %s %d rows", snap.Scheme, len(snap.Rows))
+	}
+	re, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Document().XML() != s.Document().XML() {
+		t.Fatal("restore mismatch")
+	}
+	if re.Labeling().Name() != "cdqs" {
+		t.Fatalf("restored scheme: %s", re.Labeling().Name())
+	}
+	// The restored session is live.
+	if _, err := re.AppendChild(re.Document().Root(), "more"); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOrder(re); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption is detected.
+	data[len(data)/2] ^= 0x10
+	if _, err := Restore(data); err == nil {
+		t.Fatal("corrupted snapshot restored")
+	}
+}
+
+func TestMoveFacade(t *testing.T) {
+	s, err := Open(SampleBook(), "qed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := s.Document()
+	if err := s.MoveAfter(doc.FindElement("title"), doc.FindElement("edition")); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOrder(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root().Children()[1].Name(); got != "edition" {
+		t.Fatalf("second child: %s", got)
+	}
+}
+
+func TestSubtreeBuildersExported(t *testing.T) {
+	doc, _ := ParseString("<r><x/></r>")
+	s, err := Open(doc, "vector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := NewElement("chapter")
+	if err := sub.AppendChild(NewText("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubtree(doc.Root(), sub); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc.XML(), "<chapter>hello</chapter>") {
+		t.Fatalf("xml: %s", doc.XML())
+	}
+}
+
+func TestRecommendFacade(t *testing.T) {
+	recs, err := RecommendProfile(ProfileVersionControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Scheme != "cdqs" {
+		t.Fatalf("recommendations: %v", recs)
+	}
+	if _, err := RecommendProfile(Profile("nope")); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	// Custom requirements through the facade.
+	custom := Recommend(PublishedMatrix(), Requirements{
+		Require: []Property{OverflowFree, CompactEncoding},
+	})
+	for _, r := range custom {
+		if r.Scheme != "cdqs" && r.Scheme != "vector" {
+			t.Errorf("unexpected scheme %s", r.Scheme)
+		}
+	}
+}
