@@ -1,6 +1,6 @@
 // Command xbench runs the experiment suite behind EXPERIMENTS.md: the
-// paper's qualitative claims C1-C8 (DESIGN.md's per-experiment index) as
-// measured tables.
+// paper's qualitative claims C1-C8 (DESIGN.md's per-experiment index)
+// plus the C9 batched-transaction measurement as measured tables.
 //
 // Usage:
 //
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (C1-C8); empty runs all")
+	exp := flag.String("exp", "", "experiment id (C1-C9); empty runs all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	flag.Parse()
 	if err := run(strings.ToUpper(*exp), *quick); err != nil {
@@ -33,11 +33,13 @@ func run(exp string, quick bool) error {
 	storms := 60
 	qedOps := 10000
 	growth := []int{10, 100, 1000, 5000}
+	batchOps, batchSize := 2000, 64
 	cfg := core.DefaultProbeConfig()
 	if quick {
 		storms = 15
 		qedOps = 1500
 		growth = []int{10, 100, 1000}
+		batchOps, batchSize = 400, 32
 		cfg.BaseNodes, cfg.StormOps, cfg.SkewedOps, cfg.ZigzagOps, cfg.XPathNodes = 100, 100, 300, 100, 36
 	}
 	runners := []struct {
@@ -55,6 +57,7 @@ func run(exp string, quick bool) error {
 			t, _, err := experiments.C8Matrix(cfg)
 			return t, err
 		}},
+		{"C9", func() (experiments.Table, error) { return experiments.C9BatchedUpdates(batchOps, batchSize) }},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -69,7 +72,7 @@ func run(exp string, quick bool) error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (C1-C8)", exp)
+		return fmt.Errorf("unknown experiment %q (C1-C9)", exp)
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module xmldyn
+
+go 1.24

@@ -1,0 +1,433 @@
+// Package repo is the server-side repository layer the paper's framing
+// assumes: a single mediator holding many named labelled documents and
+// serving concurrent query and update traffic while every document's
+// order invariant survives sustained modification ("this order must be
+// maintained in the presence of updates", §1).
+//
+// Concurrency model, two levels:
+//
+//   - The name space is sharded: an FNV-1a hash of the document name
+//     picks one of N shards, each guarded by its own sync.RWMutex, so
+//     opens/lookups/drops on different names rarely contend.
+//   - Each document carries its own sync.RWMutex: any number of
+//     readers (queries, verifications, snapshots) proceed in parallel
+//     while writers — single updates or batched transactions — are
+//     serialized per document and never block traffic on other
+//     documents.
+//
+// Updates go through the update layer's batched transactions
+// (update.Session.Apply): a committed batch re-verifies document order
+// exactly once however many ops it carries and rolls the whole
+// transaction back if anything — including that verification — fails,
+// so a batch either commits an ordered document or leaves it
+// untouched. Repository sessions run with auto-verify on, so single
+// ops through Update are order-checked too; a single op that breaks
+// order (a defective scheme like LSDX) surfaces the error on the spot
+// but is not rolled back — prefer Batch for all-or-nothing writes.
+//
+// The whole repository round-trips through the version-2 store
+// container (Save/Load): every document's name, scheme and
+// encoding table in one checksummed blob.
+//
+// Re-entrancy: the locks are not re-entrant. A View/Update/QueryFunc
+// callback must not call back into the repository or its Docs (a
+// nested read of the same document deadlocks once a writer is
+// queued, and Save from inside an Update self-deadlocks). Do all
+// repository calls from outside the callback.
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"xmldyn/internal/core"
+	"xmldyn/internal/encoding"
+	"xmldyn/internal/store"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+	"xmldyn/internal/xpath"
+)
+
+// Repository errors.
+var (
+	ErrExists    = errors.New("repo: document already exists")
+	ErrNotFound  = errors.New("repo: no such document")
+	ErrNoScheme  = errors.New("repo: unknown labelling scheme")
+	ErrEmptyName = errors.New("repo: empty document name")
+)
+
+// DefaultShards is the shard count used when Options leaves it zero.
+const DefaultShards = 16
+
+// Options configures a Repository.
+type Options struct {
+	// Shards is the number of name-space shards (default DefaultShards).
+	Shards int
+	// AutoVerify controls per-operation order verification on the
+	// documents' sessions. Defaults to on: a repository serving many
+	// clients should never publish an unverified document. Turn it off
+	// for bulk loads where the caller verifies at the end.
+	AutoVerify *bool
+}
+
+// Repository manages many named labelled documents for concurrent use.
+type Repository struct {
+	shards     []shard
+	autoVerify bool
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	docs map[string]*Doc
+}
+
+// Doc is one named document slot. Its lock serializes writers and
+// admits parallel readers; access the session only through View,
+// Update and Batch so the locking holds.
+type Doc struct {
+	name string
+	// scheme is the registry name the document was opened under (the
+	// labeling's self-reported name may be a variant, e.g. the
+	// registry's "vector" builds a "vector-range" instance); Save
+	// persists this name so Load reopens the same registry entry.
+	scheme string
+	mu     sync.RWMutex
+	sess   *update.Session
+}
+
+// New creates an empty repository.
+func New(opts Options) *Repository {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	av := true
+	if opts.AutoVerify != nil {
+		av = *opts.AutoVerify
+	}
+	r := &Repository{shards: make([]shard, n), autoVerify: av}
+	for i := range r.shards {
+		r.shards[i].docs = make(map[string]*Doc)
+	}
+	return r
+}
+
+// FNV-1a parameters, inlined so shard selection allocates nothing on
+// the per-operation hot path.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// shardFor hashes a document name onto its shard (FNV-1a, zero-alloc).
+func (r *Repository) shardFor(name string) *shard {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= fnvPrime32
+	}
+	return &r.shards[h%uint32(len(r.shards))]
+}
+
+// Open labels doc under the named scheme and registers it. The
+// document must not already exist.
+func (r *Repository) Open(name string, doc *xmltree.Document, scheme string) (*Doc, error) {
+	if name == "" {
+		return nil, ErrEmptyName
+	}
+	s, ok := core.SchemeByName(scheme)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoScheme, scheme)
+	}
+	sess, err := update.NewSession(doc, s.Factory())
+	if err != nil {
+		return nil, err
+	}
+	return r.add(name, scheme, sess)
+}
+
+// OpenSession registers an existing session under a name, adopting it
+// into the repository's auto-verify policy. A rejected registration
+// (ErrExists, ErrNoScheme) leaves the session untouched. The session's
+// labeling must report a registry scheme name — enforced here so the
+// failure surfaces at registration, not when a Save container turns
+// out to be unloadable (variant labelings like vector.NewRange's
+// "vector-range" have no registry entry; open those via Open, which
+// records the registry name).
+func (r *Repository) OpenSession(name string, sess *update.Session) (*Doc, error) {
+	if name == "" {
+		return nil, ErrEmptyName
+	}
+	scheme := sess.Labeling().Name()
+	if _, ok := core.SchemeByName(scheme); !ok {
+		return nil, fmt.Errorf("%w: %q (labeling does not correspond to a registry scheme; use Open)", ErrNoScheme, scheme)
+	}
+	return r.add(name, scheme, sess)
+}
+
+func (r *Repository) add(name, scheme string, sess *update.Session) (*Doc, error) {
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.docs[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	// Adopt the session into the repository's verification policy
+	// before it becomes reachable by name.
+	sess.SetAutoVerify(r.autoVerify)
+	d := &Doc{name: name, scheme: scheme, sess: sess}
+	sh.docs[name] = d
+	return d, nil
+}
+
+// Get returns the named document slot.
+func (r *Repository) Get(name string) (*Doc, bool) {
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.docs[name]
+	return d, ok
+}
+
+// Drop removes the named document, reporting whether it existed. A
+// dropped Doc stays usable by holders of the pointer but is no longer
+// served by name.
+func (r *Repository) Drop(name string) bool {
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.docs[name]; !ok {
+		return false
+	}
+	delete(sh.docs, name)
+	return true
+}
+
+// Len counts the documents.
+func (r *Repository) Len() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Names lists all document names, sorted.
+func (r *Repository) Names() []string {
+	var out []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name := range sh.docs {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// View runs fn with the named document's session under the read lock:
+// any number of Views proceed in parallel. fn must not mutate, and
+// must not call back into the repository (see the package doc on
+// re-entrancy).
+func (r *Repository) View(name string, fn func(*update.Session) error) error {
+	d, ok := r.Get(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return d.View(fn)
+}
+
+// Update runs fn with the named document's session under the write
+// lock, serialized against all other access to that document only. fn
+// must not call back into the repository (see the package doc on
+// re-entrancy).
+func (r *Repository) Update(name string, fn func(*update.Session) error) error {
+	d, ok := r.Get(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return d.Update(fn)
+}
+
+// Batch commits ops against the named document as one write-locked
+// transaction (one order verification for the whole batch under the
+// default auto-verify policy; none when the repository opted out).
+func (r *Repository) Batch(name string, ops []update.Op) (*update.BatchResult, error) {
+	d, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return d.Batch(ops)
+}
+
+// Query evaluates a location path against the named document under the
+// read lock, returning detached deep copies of the matches (safe to
+// use after the lock is released; see Doc.Query).
+func (r *Repository) Query(name, path string) ([]*xmltree.Node, error) {
+	d, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return d.Query(path)
+}
+
+// QueryFunc evaluates a location path against the named document and
+// hands the live result nodes to fn inside the read lock (zero-copy;
+// see Doc.QueryFunc).
+func (r *Repository) QueryFunc(name, path string, fn func([]*xmltree.Node) error) error {
+	d, ok := r.Get(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return d.QueryFunc(path, fn)
+}
+
+// Save serialises every document into one version-2 store container as
+// a consistent point-in-time snapshot: all document read locks are
+// held simultaneously while the tables are built, so the container
+// never captures a cross-document state that existed at no instant.
+// Locks are acquired in sorted-name order — a single global order, so
+// concurrent Saves cannot deadlock, and writers (which hold at most
+// one document lock at a time) cannot form a cycle against it. The
+// membership is fixed at the moment of listing; documents opened or
+// dropped during the acquisition are respectively excluded or
+// retained.
+func (r *Repository) Save() ([]byte, error) {
+	names := r.Names()
+	held := make([]*Doc, 0, len(names))
+	for _, name := range names {
+		if d, ok := r.Get(name); ok {
+			held = append(held, d)
+		}
+	}
+	for _, d := range held {
+		d.mu.RLock()
+	}
+	defer func() {
+		for _, d := range held {
+			d.mu.RUnlock()
+		}
+	}()
+	docs := make([]store.DocSnapshot, 0, len(held))
+	for _, d := range held {
+		enc := encoding.Wrap(d.sess.Document(), d.sess.Labeling())
+		docs = append(docs, store.DocSnapshot{Name: d.name, Scheme: d.scheme, Rows: enc.Table()})
+	}
+	return store.MarshalRepo(docs)
+}
+
+// Load rebuilds a repository from a Save container: every document is
+// reconstructed from its rows and reopened under its recorded scheme.
+func Load(data []byte, opts Options) (*Repository, error) {
+	docs, err := store.UnmarshalRepo(data)
+	if err != nil {
+		return nil, err
+	}
+	r := New(opts)
+	for _, d := range docs {
+		doc, err := d.Rebuild()
+		if err != nil {
+			return nil, fmt.Errorf("repo: load %q: %w", d.Name, err)
+		}
+		if _, err := r.Open(d.Name, doc, d.Scheme); err != nil {
+			return nil, fmt.Errorf("repo: load %q: %w", d.Name, err)
+		}
+	}
+	return r, nil
+}
+
+// Name returns the slot's document name.
+func (d *Doc) Name() string { return d.name }
+
+// View runs fn under the read lock.
+func (d *Doc) View(fn func(*update.Session) error) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return fn(d.sess)
+}
+
+// Update runs fn under the write lock.
+func (d *Doc) Update(fn func(*update.Session) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return fn(d.sess)
+}
+
+// Batch commits ops as one write-locked transaction. The result's New
+// nodes are detached deep copies: the live tree must only be touched
+// under the document's lock, and the caller holds it no longer. Use
+// Update with Session.Apply to work with the live created nodes.
+func (d *Doc) Batch(ops []update.Op) (*update.BatchResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res, err := d.sess.Apply(ops)
+	if err != nil {
+		return nil, err
+	}
+	out := &update.BatchResult{New: make([]*xmltree.Node, len(res.New))}
+	for i, n := range res.New {
+		if n != nil {
+			out.New[i] = n.Clone()
+		}
+	}
+	return out, nil
+}
+
+// Query evaluates a location path under the read lock using structural
+// navigation and returns detached deep copies of the matches, so the
+// results stay valid — and race-free against concurrent writers —
+// after the lock is released. Large result sets pay the copy; use
+// QueryFunc for zero-copy access scoped inside the lock.
+func (d *Doc) Query(path string) ([]*xmltree.Node, error) {
+	var out []*xmltree.Node
+	err := d.QueryFunc(path, func(nodes []*xmltree.Node) error {
+		out = make([]*xmltree.Node, len(nodes))
+		for i, n := range nodes {
+			out[i] = n.Clone()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QueryFunc evaluates a location path under the read lock and hands
+// the live result nodes to fn. The nodes belong to the locked
+// document: fn must not mutate them, retain them past its return, or
+// call back into the repository (see the package doc on re-entrancy).
+func (d *Doc) QueryFunc(path string, fn func([]*xmltree.Node) error) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	eng := xpath.New(d.sess.Document(), d.sess.Labeling(), xpath.ModeStructural)
+	nodes, err := eng.Query(path)
+	if err != nil {
+		return err
+	}
+	return fn(nodes)
+}
+
+// Verify re-checks the document-order invariant under the read lock.
+func (d *Doc) Verify() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.sess.Verify()
+}
+
+// Counters returns the session counters under the read lock.
+func (d *Doc) Counters() update.Counters {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.sess.Counters()
+}
+
+// Scheme names the registry scheme the document was opened under.
+func (d *Doc) Scheme() string { return d.scheme }

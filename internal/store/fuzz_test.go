@@ -1,0 +1,114 @@
+package store
+
+import (
+	"testing"
+
+	"xmldyn/internal/encoding"
+	"xmldyn/internal/schemes/dewey"
+	"xmldyn/internal/schemes/qed"
+	"xmldyn/internal/xmltree"
+)
+
+// FuzzRepoRoundTrip feeds arbitrary bytes to the v2 container decoder:
+// it must never panic, and whenever it accepts the input, the decoded
+// documents must survive a marshal/unmarshal round trip unchanged.
+// (Byte-level canonicality does not hold: LEB128 tolerates non-minimal
+// encodings on decode, so equality is checked on the decoded form.)
+func FuzzRepoRoundTrip(f *testing.F) {
+	e1, err := encoding.New(xmltree.SampleBook(), qed.NewPrefix())
+	if err != nil {
+		f.Fatal(err)
+	}
+	e2, err := encoding.New(xmltree.ExampleTree(), dewey.New())
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := MarshalRepo([]DocSnapshot{
+		{Name: "books", Scheme: e1.Labeling().Name(), Rows: e1.Table()},
+		{Name: "examples", Scheme: e2.Labeling().Name(), Rows: e2.Table()},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, err := MarshalRepo(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(empty)
+	f.Add([]byte("XDYN"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		docs, err := UnmarshalRepo(data)
+		if err != nil {
+			return
+		}
+		again, err := MarshalRepo(docs)
+		if err != nil {
+			t.Fatalf("accepted container fails to re-marshal: %v", err)
+		}
+		docs2, err := UnmarshalRepo(again)
+		if err != nil {
+			t.Fatalf("re-marshalled container rejected: %v", err)
+		}
+		if !reflectEqualDocs(docs, docs2) {
+			t.Fatalf("round trip changed documents:\n in  %+v\n out %+v", docs, docs2)
+		}
+	})
+}
+
+// reflectEqualDocs compares two snapshot slices field by field.
+func reflectEqualDocs(a, b []DocSnapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Scheme != b[i].Scheme || len(a[i].Rows) != len(b[i].Rows) {
+			return false
+		}
+		for j := range a[i].Rows {
+			if a[i].Rows[j] != b[i].Rows[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzSnapshotRoundTrip does the same for the v1 single-document format.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	enc, err := encoding.New(xmltree.SampleBook(), qed.NewPrefix())
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := Marshal(enc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := MarshalRows(snap.Scheme, snap.Rows)
+		if err != nil {
+			t.Fatalf("accepted snapshot fails to re-marshal: %v", err)
+		}
+		snap2, err := Unmarshal(again)
+		if err != nil {
+			t.Fatalf("re-marshalled snapshot rejected: %v", err)
+		}
+		if snap.Scheme != snap2.Scheme || len(snap.Rows) != len(snap2.Rows) {
+			t.Fatalf("round trip changed snapshot: %+v vs %+v", snap, snap2)
+		}
+		for i := range snap.Rows {
+			if snap.Rows[i] != snap2.Rows[i] {
+				t.Fatalf("row %d changed: %+v vs %+v", i, snap.Rows[i], snap2.Rows[i])
+			}
+		}
+	})
+}

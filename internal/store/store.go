@@ -33,6 +33,9 @@ var (
 const (
 	magic   = "XDYN"
 	version = 1
+	// minRowBytes is the smallest possible encoded row: a kind byte
+	// plus four empty length-prefixed strings.
+	minRowBytes = 5
 )
 
 // Snapshot is a decoded store image.
@@ -54,14 +57,10 @@ func MarshalRows(scheme string, rows []encoding.Row) ([]byte, error) {
 	out = appendString(out, scheme)
 	out = append(out, labels.EncodeLEB128(uint64(len(rows)))...)
 	for _, r := range rows {
-		if r.Kind != xmltree.KindElement && r.Kind != xmltree.KindAttribute {
-			return nil, fmt.Errorf("store: row kind %v not storable", r.Kind)
+		var err error
+		if out, err = appendRow(out, r); err != nil {
+			return nil, err
 		}
-		out = append(out, byte(r.Kind))
-		out = appendString(out, r.Label)
-		out = appendString(out, r.Parent)
-		out = appendString(out, r.Name)
-		out = appendString(out, r.Value)
 	}
 	h := fnv.New64a()
 	_, _ = h.Write(out)
@@ -91,31 +90,16 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: row count: %v", ErrCorrupt, err)
 	}
 	pos += n
-	if count > uint64(len(data)) { // cheap sanity bound: >=5 bytes/row
+	// Sanity bound: each row costs at least minRowBytes, so a count
+	// claiming more rows than the buffer could hold is corrupt. The
+	// division form avoids overflowing count*minRowBytes.
+	if count > uint64(len(data))/minRowBytes {
 		return nil, fmt.Errorf("%w: implausible row count %d", ErrCorrupt, count)
 	}
 	snap := &Snapshot{Scheme: scheme, Rows: make([]encoding.Row, 0, count)}
 	for i := uint64(0); i < count; i++ {
-		if pos >= len(data) {
-			return nil, fmt.Errorf("%w: truncated at row %d", ErrCorrupt, i)
-		}
-		kind := xmltree.Kind(data[pos])
-		pos++
-		if kind != xmltree.KindElement && kind != xmltree.KindAttribute {
-			return nil, fmt.Errorf("%w: row %d kind %d", ErrCorrupt, i, kind)
-		}
 		var r encoding.Row
-		r.Kind = kind
-		if r.Label, pos, err = readString(data, pos); err != nil {
-			return nil, err
-		}
-		if r.Parent, pos, err = readString(data, pos); err != nil {
-			return nil, err
-		}
-		if r.Name, pos, err = readString(data, pos); err != nil {
-			return nil, err
-		}
-		if r.Value, pos, err = readString(data, pos); err != nil {
+		if r, pos, err = readRow(data, pos, i); err != nil {
 			return nil, err
 		}
 		snap.Rows = append(snap.Rows, r)
@@ -138,6 +122,47 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 // Rebuild reconstructs the document tree from the snapshot's rows.
 func (s *Snapshot) Rebuild() (*xmltree.Document, error) {
 	return encoding.Reconstruct(s.Rows)
+}
+
+// appendRow encodes one table row.
+func appendRow(out []byte, r encoding.Row) ([]byte, error) {
+	if r.Kind != xmltree.KindElement && r.Kind != xmltree.KindAttribute {
+		return nil, fmt.Errorf("store: row kind %v not storable", r.Kind)
+	}
+	out = append(out, byte(r.Kind))
+	out = appendString(out, r.Label)
+	out = appendString(out, r.Parent)
+	out = appendString(out, r.Name)
+	out = appendString(out, r.Value)
+	return out, nil
+}
+
+// readRow decodes one table row (i names the row in errors).
+func readRow(data []byte, pos int, i uint64) (encoding.Row, int, error) {
+	var r encoding.Row
+	if pos >= len(data) {
+		return r, 0, fmt.Errorf("%w: truncated at row %d", ErrCorrupt, i)
+	}
+	kind := xmltree.Kind(data[pos])
+	pos++
+	if kind != xmltree.KindElement && kind != xmltree.KindAttribute {
+		return r, 0, fmt.Errorf("%w: row %d kind %d", ErrCorrupt, i, kind)
+	}
+	var err error
+	r.Kind = kind
+	if r.Label, pos, err = readString(data, pos); err != nil {
+		return r, 0, err
+	}
+	if r.Parent, pos, err = readString(data, pos); err != nil {
+		return r, 0, err
+	}
+	if r.Name, pos, err = readString(data, pos); err != nil {
+		return r, 0, err
+	}
+	if r.Value, pos, err = readString(data, pos); err != nil {
+		return r, 0, err
+	}
+	return r, pos, nil
 }
 
 func appendString(out []byte, s string) []byte {

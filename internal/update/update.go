@@ -41,7 +41,9 @@ type Counters struct {
 	Inserts        int64 // labellable nodes inserted
 	Deletes        int64 // labellable nodes deleted
 	ContentUpdates int64
-	Operations     int64 // top-level operations applied
+	Operations     int64 // top-level operations applied (a batch counts as one)
+	Batches        int64 // committed batch transactions
+	Verifies       int64 // document-order verification passes
 }
 
 // Session couples a document with a labelling scheme instance.
@@ -49,6 +51,12 @@ type Session struct {
 	doc *xmltree.Document
 	lab labeling.Interface
 	ctr Counters
+	// autoVerify re-checks document order after every committed
+	// operation (once per batch for batched applies).
+	autoVerify bool
+	// inBatch suppresses per-op accounting and verification while
+	// Apply drains a batch; the batch commit does both once.
+	inBatch bool
 }
 
 // NewSession builds the labeling for doc and returns the session.
@@ -67,6 +75,38 @@ func (s *Session) Labeling() labeling.Interface { return s.lab }
 
 // Counters returns a copy of the operation counters.
 func (s *Session) Counters() Counters { return s.ctr }
+
+// SetAutoVerify toggles per-operation order verification. With it on,
+// every single operation re-checks the document-order invariant (one
+// verification pass per op); batched applies still verify exactly once
+// per batch — the point of batching. A failed per-op check reports the
+// violation but leaves the op applied (only batches roll back); use
+// Apply for all-or-nothing semantics.
+func (s *Session) SetAutoVerify(on bool) { s.autoVerify = on }
+
+// AutoVerify reports whether per-operation verification is on.
+func (s *Session) AutoVerify() bool { return s.autoVerify }
+
+// finishOp closes out one top-level operation: it counts the operation
+// and, when auto-verification is on, re-checks document order. Inside a
+// batch both are deferred to the commit, which performs them once for
+// the whole transaction.
+func (s *Session) finishOp() error {
+	if s.inBatch {
+		return nil
+	}
+	s.ctr.Operations++
+	if s.autoVerify {
+		return s.verifyCounted()
+	}
+	return nil
+}
+
+// verifyCounted runs one accounted order-verification pass.
+func (s *Session) verifyCounted() error {
+	s.ctr.Verifies++
+	return labeling.VerifyOrder(s.lab, s.doc)
+}
 
 // --- structural updates ----------------------------------------------------
 
@@ -122,8 +162,7 @@ func (s *Session) SetAttr(e *xmltree.Node, name, value string) (*xmltree.Node, e
 			return nil, err
 		}
 		s.ctr.ContentUpdates++
-		s.ctr.Operations++
-		return a, nil
+		return a, s.finishOp()
 	}
 	a, err := e.SetAttr(name, value)
 	if err != nil {
@@ -187,8 +226,7 @@ func (s *Session) Delete(n *xmltree.Node) error {
 	}
 	n.Detach()
 	s.ctr.Deletes += removed
-	s.ctr.Operations++
-	return nil
+	return s.finishOp()
 }
 
 // MoveBefore detaches the subtree rooted at n and re-inserts it
@@ -275,8 +313,7 @@ func (s *Session) SetText(e *xmltree.Node, text string) error {
 		}
 	}
 	s.ctr.ContentUpdates++
-	s.ctr.Operations++
-	return nil
+	return s.finishOp()
 }
 
 // Rename changes an element or attribute name (a content update).
@@ -286,8 +323,7 @@ func (s *Session) Rename(n *xmltree.Node, name string) error {
 	}
 	n.SetName(name)
 	s.ctr.ContentUpdates++
-	s.ctr.Operations++
-	return nil
+	return s.finishOp()
 }
 
 // --- internals ---------------------------------------------------------------
@@ -297,36 +333,44 @@ func (s *Session) labelNew(n *xmltree.Node) error {
 		return fmt.Errorf("update: label %s insert: %w", s.lab.Name(), err)
 	}
 	s.ctr.Inserts++
-	s.ctr.Operations++
+	return s.finishOp()
+}
+
+// walkLabellable visits every labellable node of the subtree in
+// document order — attributes before children, the order labelling
+// relies on. Both the insert path and the batch rollback re-labelling
+// share it so their traversals can never diverge.
+func walkLabellable(n *xmltree.Node, visit func(*xmltree.Node) error) error {
+	if n.Kind() == xmltree.KindElement || n.Kind() == xmltree.KindAttribute {
+		if err := visit(n); err != nil {
+			return err
+		}
+	}
+	for _, a := range n.Attributes() {
+		if err := walkLabellable(a, visit); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children() {
+		if err := walkLabellable(c, visit); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func (s *Session) labelSubtree(root *xmltree.Node) error {
-	var walk func(n *xmltree.Node) error
-	walk = func(n *xmltree.Node) error {
-		if n.Kind() == xmltree.KindElement || n.Kind() == xmltree.KindAttribute {
-			if err := s.lab.NodeInserted(n); err != nil {
-				return err
-			}
-			s.ctr.Inserts++
+	err := walkLabellable(root, func(n *xmltree.Node) error {
+		if err := s.lab.NodeInserted(n); err != nil {
+			return err
 		}
-		for _, a := range n.Attributes() {
-			if err := walk(a); err != nil {
-				return err
-			}
-		}
-		for _, c := range n.Children() {
-			if err := walk(c); err != nil {
-				return err
-			}
-		}
+		s.ctr.Inserts++
 		return nil
-	}
-	if err := walk(root); err != nil {
+	})
+	if err != nil {
 		return fmt.Errorf("update: subtree label %s: %w", s.lab.Name(), err)
 	}
-	s.ctr.Operations++
-	return nil
+	return s.finishOp()
 }
 
 func countLabellable(n *xmltree.Node) int {

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// TestApplyBatchedShapes drives every workload shape through batched
+// transactions and checks ops land, order holds, and verification ran
+// once per batch, not once per op.
+func TestApplyBatchedShapes(t *testing.T) {
+	const ops, batch = 60, 16
+	for _, kind := range []Kind{Random, Uniform, Skewed, AppendOnly, Churn} {
+		s := session(t, 100)
+		s.SetAutoVerify(true)
+		res, err := ApplyBatched(s, Spec{Kind: kind, Ops: ops, Seed: 3}, batch)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Applied != ops {
+			t.Fatalf("%s: applied %d, want exactly %d", kind, res.Applied, ops)
+		}
+		wantBatches := (ops + batch - 1) / batch
+		if res.Batches > wantBatches || res.Batches == 0 {
+			t.Fatalf("%s: %d batches, want 1..%d", kind, res.Batches, wantBatches)
+		}
+		ctr := s.Counters()
+		if ctr.Verifies != int64(res.Batches) {
+			t.Fatalf("%s: %d verifies for %d batches", kind, ctr.Verifies, res.Batches)
+		}
+		if ctr.Verifies >= int64(ops) {
+			t.Fatalf("%s: batched path verified per-op (%d passes)", kind, ctr.Verifies)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+// TestApplyBatchedMatchesSingleCounts: for deterministic shapes the
+// batched stream inserts exactly as many nodes as the op-at-a-time
+// stream.
+func TestApplyBatchedMatchesSingleCounts(t *testing.T) {
+	for _, kind := range []Kind{Skewed, AppendOnly, Uniform} {
+		s1 := session(t, 80)
+		if _, err := Apply(s1, Spec{Kind: kind, Ops: 50, Seed: 11}); err != nil {
+			t.Fatal(err)
+		}
+		s2 := session(t, 80)
+		if _, err := ApplyBatched(s2, Spec{Kind: kind, Ops: 50, Seed: 11}, 8); err != nil {
+			t.Fatal(err)
+		}
+		c1, c2 := s1.Counters(), s2.Counters()
+		if c1.Inserts != c2.Inserts {
+			t.Fatalf("%s: single inserted %d, batched %d", kind, c1.Inserts, c2.Inserts)
+		}
+	}
+}
+
+// TestApplyBatchedSizeOne falls back to the op-at-a-time path.
+func TestApplyBatchedSizeOne(t *testing.T) {
+	s := session(t, 60)
+	res, err := ApplyBatched(s, Spec{Kind: AppendOnly, Ops: 10, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 10 || res.Batches != 0 {
+		t.Fatalf("res = %+v, want 10 applied via single path", res)
+	}
+}
+
+// TestApplyBatchedChurnAvoidsDoomedRefs: batched churn never emits an
+// op whose reference sits inside a subtree the same batch deletes, so
+// every committed batch leaves an ordered document.
+func TestApplyBatchedChurnAvoidsDoomedRefs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		s := session(t, 120)
+		s.SetAutoVerify(true)
+		if _, err := ApplyBatched(s, Spec{Kind: Churn, Ops: 80, Seed: seed, DeleteRatio: 0.5}, 20); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// No stray nodes hanging under detached parents: every element
+		// reachable from the root is attached (Validate walks the tree).
+		if err := s.Document().Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestApplyBatchedUnknownKind mirrors Apply's error contract.
+func TestApplyBatchedUnknownKind(t *testing.T) {
+	s := session(t, 20)
+	if _, err := ApplyBatched(s, Spec{Kind: Kind(42), Ops: 5}, 4); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestInsertOpAroundCoversPositions: the op generator reaches all four
+// insertion positions and respects the root special case.
+func TestInsertOpAroundCoversPositions(t *testing.T) {
+	s := session(t, 40)
+	doc := s.Document()
+	root := doc.Root()
+	seen := map[update.OpKind]bool{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		op := insertOpAround(rng, doc, root)
+		seen[op.Kind] = true
+		if op.Kind == update.OpInsertBefore || op.Kind == update.OpInsertAfter {
+			t.Fatal("sibling insert relative to root")
+		}
+	}
+	var target *xmltree.Node
+	doc.WalkLabelled(func(n *xmltree.Node) bool {
+		if n != root && n.Kind() == xmltree.KindElement {
+			target = n
+			return false
+		}
+		return true
+	})
+	for i := 0; i < 200; i++ {
+		seen[insertOpAround(rng, doc, target).Kind] = true
+	}
+	for _, k := range []update.OpKind{update.OpInsertBefore, update.OpInsertAfter, update.OpInsertFirstChild, update.OpAppendChild} {
+		if !seen[k] {
+			t.Fatalf("position %v never generated", k)
+		}
+	}
+}

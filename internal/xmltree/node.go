@@ -310,6 +310,31 @@ func (n *Node) AppendAttr(a *Node) error {
 	return nil
 }
 
+// InsertAttrAt inserts a as the i-th attribute of n (clamped to the
+// list bounds), preserving the order of the others.
+func (n *Node) InsertAttrAt(i int, a *Node) error {
+	if n.kind != KindElement {
+		return fmt.Errorf("%w: attributes on %v", ErrWrongKind, n.kind)
+	}
+	if a.kind != KindAttribute {
+		return fmt.Errorf("%w: InsertAttrAt of %v", ErrWrongKind, a.kind)
+	}
+	if a.parent != nil {
+		a.Detach()
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i > len(n.attrs) {
+		i = len(n.attrs)
+	}
+	a.parent = n
+	n.attrs = append(n.attrs, nil)
+	copy(n.attrs[i+1:], n.attrs[i:])
+	n.attrs[i] = a
+	return nil
+}
+
 // RemoveAttr removes the named attribute, reporting whether it existed.
 func (n *Node) RemoveAttr(name string) bool {
 	for i, a := range n.attrs {

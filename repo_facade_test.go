@@ -1,0 +1,106 @@
+package xmldyn
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRepositoryFacade exercises the public repository surface:
+// NewRepository, Open, batched writes, queries, save/restore.
+func TestRepositoryFacade(t *testing.T) {
+	r := NewRepository(RepoOptions{Shards: 2})
+	doc, err := ParseString(`<shelf><book/><book/></shelf>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Open("shelf", doc, "qed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("shelf", doc, "qed"); !errors.Is(err, ErrRepoExists) {
+		t.Fatalf("dup open: %v", err)
+	}
+
+	ops := []Op{
+		AppendChildOp(doc.Root(), "book"),
+		AppendChildOp(doc.Root(), "book"),
+		SetAttrOp(doc.Root(), "owner", "me"),
+	}
+	res, err := d.Batch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.New) != 3 || res.New[0] == nil {
+		t.Fatalf("batch result: %+v", res)
+	}
+	nodes, err := r.Query("shelf", "//book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("books = %d, want 4", len(nodes))
+	}
+	if ctr := d.Counters(); ctr.Batches != 1 || ctr.Verifies != 1 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+
+	blob, err := SaveRepository(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RestoreRepository(blob, RepoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, ok := r2.Get("shelf")
+	if !ok || d2.Scheme() != "qed" {
+		t.Fatalf("restored: %v %v", d2, ok)
+	}
+	if err := d2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Query("missing", "//x"); !errors.Is(err, ErrRepoNotFound) {
+		t.Fatalf("missing doc: %v", err)
+	}
+}
+
+// TestSessionBatchFacade: the batch builder reached through the
+// Session alias, plus the batched workload driver.
+func TestSessionBatchFacade(t *testing.T) {
+	doc, err := ParseString(`<r><a/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(doc, "cdqs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := doc.FindElement("a")
+	res, err := s.Batch().
+		InsertAfter(a, "b").
+		AppendChild(doc.Root(), "c").
+		Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.New) != 2 {
+		t.Fatalf("New = %d, want 2", len(res.New))
+	}
+	if _, err := ApplyBatch(s, []Op{DeleteOp(a)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOrder(s); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(SampleBook(), "deweyid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyWorkloadBatched(s2, WorkloadSpec{Kind: WorkloadRandom, Ops: 40, Seed: 2}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOrder(s2); err != nil {
+		t.Fatal(err)
+	}
+}

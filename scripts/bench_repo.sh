@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerates BENCH_repo.json: the repository/batching perf trajectory.
+# Run from the repo root:
+#
+#	sh scripts/bench_repo.sh
+set -e
+out=BENCH_repo.json
+go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent' \
+	-benchmem -benchtime 1s . |
+	awk '
+	/^goos:/    { goos = $2 }
+	/^goarch:/  { goarch = $2 }
+	/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		if (n++) printf ",\n"
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			name, $2, $3, $5, $7
+	}
+	END {
+		printf "\n  ],\n"
+		printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
+	}
+	BEGIN { printf "{\n  \"suite\": \"repo\",\n  \"benchmarks\": [\n" }
+	' >"$out"
+echo "wrote $out"

@@ -14,6 +14,14 @@
 // evaluation framework with both the published Figure 7 matrix and a
 // measured one derived from live probes.
 //
+// On top of the single-document session sits a concurrent repository
+// layer (NewRepository): many named labelled documents behind sharded
+// locks, queries running in parallel with per-document-serialized
+// writers, and batched update transactions (Session.Batch, ApplyBatch)
+// that verify document order once per batch instead of once per op.
+// SaveRepository/RestoreRepository round-trip the whole repository
+// through one checksummed container.
+//
 // Quick start:
 //
 //	doc, _ := xmldyn.ParseString("<a><b/><c/></a>")
@@ -32,6 +40,7 @@ import (
 	"xmldyn/internal/encoding"
 	"xmldyn/internal/figures"
 	"xmldyn/internal/labeling"
+	"xmldyn/internal/repo"
 	"xmldyn/internal/store"
 	"xmldyn/internal/update"
 	"xmldyn/internal/uql"
@@ -80,6 +89,8 @@ type (
 	Report = core.Report
 	// WorkloadSpec describes an update stream (§5.1 scenarios).
 	WorkloadSpec = workload.Spec
+	// WorkloadKind names an update stream shape (WorkloadRandom etc.).
+	WorkloadKind = workload.Kind
 )
 
 // Node kinds.
@@ -330,3 +341,80 @@ func MeanLabelBits(s *Session) float64 {
 // VerifyOrder re-checks that the session's labels order exactly as the
 // document does — the §1 invariant every dynamic scheme must maintain.
 func VerifyOrder(s *Session) error { return s.Verify() }
+
+// --- batched transactions ----------------------------------------------------
+
+// Batched-update types: queue ops against a session and commit them as
+// one transaction that verifies document order once however many ops
+// it carries (see internal/update's batch layer).
+type (
+	// Op is one queued structural or content operation.
+	Op = update.Op
+	// OpKind discriminates queued operations.
+	OpKind = update.OpKind
+	// Batch accumulates ops for one session (Session.Batch()).
+	Batch = update.Batch
+	// BatchResult reports a committed batch's created nodes.
+	BatchResult = update.BatchResult
+)
+
+// Op constructors re-exported for batch assembly. A batched move is a
+// DeleteOp plus the matching InsertSubtree*Op on the detached root.
+var (
+	InsertBeforeOp        = update.InsertBeforeOp
+	InsertAfterOp         = update.InsertAfterOp
+	InsertFirstChildOp    = update.InsertFirstChildOp
+	AppendChildOp         = update.AppendChildOp
+	InsertSubtreeBeforeOp = update.InsertSubtreeBeforeOp
+	InsertSubtreeAfterOp  = update.InsertSubtreeAfterOp
+	InsertSubtreeFirstOp  = update.InsertSubtreeFirstOp
+	AppendSubtreeOp       = update.AppendSubtreeOp
+	DeleteOp              = update.DeleteOp
+	SetTextOp             = update.SetTextOp
+	RenameOp              = update.RenameOp
+	SetAttrOp             = update.SetAttrOp
+)
+
+// ApplyBatch commits ops against a session as one transaction.
+func ApplyBatch(s *Session, ops []Op) (*BatchResult, error) { return s.Apply(ops) }
+
+// ApplyWorkloadBatched drives a §5.1 scenario through batched
+// transactions of up to batchSize ops each.
+func ApplyWorkloadBatched(s *Session, spec WorkloadSpec, batchSize int) error {
+	_, err := workload.ApplyBatched(s, spec, batchSize)
+	return err
+}
+
+// --- concurrent repository ---------------------------------------------------
+
+// Repository types: the server-side layer holding many named labelled
+// documents behind sharded locks (see internal/repo).
+type (
+	// Repository manages named documents for concurrent readers and
+	// per-document-serialized writers.
+	Repository = repo.Repository
+	// RepoDoc is one named document slot in a repository.
+	RepoDoc = repo.Doc
+	// RepoOptions configures shard count and auto-verification.
+	RepoOptions = repo.Options
+)
+
+// Repository errors re-exported for errors.Is.
+var (
+	ErrRepoExists   = repo.ErrExists
+	ErrRepoNotFound = repo.ErrNotFound
+)
+
+// NewRepository creates an empty repository (zero options give 16
+// shards with auto-verify on).
+func NewRepository(opts RepoOptions) *Repository { return repo.New(opts) }
+
+// SaveRepository serialises every document of a repository into one
+// version-2 store container.
+func SaveRepository(r *Repository) ([]byte, error) { return r.Save() }
+
+// RestoreRepository rebuilds a repository from a SaveRepository
+// container, reopening every document under its recorded scheme.
+func RestoreRepository(data []byte, opts RepoOptions) (*Repository, error) {
+	return repo.Load(data, opts)
+}
