@@ -1,0 +1,59 @@
+package xmldyn
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDurableCommit measures committed-batch latency through the
+// write-ahead log under each fsync policy (the C10 trade-off as a Go
+// benchmark; BENCH_repo.json tracks it across PRs). Each iteration is
+// one logged batch of eight appends against a durable repository; the
+// batch also trims eight old children once the document passes 64, so
+// the tree — and with it the per-batch verification walk — stays at
+// steady state and the numbers isolate the logging cost rather than
+// growing with b.N.
+func BenchmarkDurableCommit(b *testing.B) {
+	for _, p := range []struct {
+		name   string
+		policy SyncPolicy
+	}{
+		{"PerCommit", SyncPerCommit},
+		{"Grouped", SyncGrouped},
+		{"Async", SyncAsync},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			dir := b.TempDir()
+			r, err := NewDurableRepository(dir, DurableOptions{Sync: p.policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			doc, err := ParseString("<r><seed/></r>")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Open("bench", doc, "qed"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := r.Batch("bench", func(doc *Document, bt *Batch) error {
+					root := doc.Root()
+					for j := 0; j < 8; j++ {
+						bt.AppendChild(root, fmt.Sprintf("n%d", i%8))
+					}
+					if kids := root.Children(); len(kids) > 64 {
+						for j := 0; j < 8; j++ {
+							bt.Delete(kids[j])
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 // Command xbench runs the experiment suite behind EXPERIMENTS.md: the
 // paper's qualitative claims C1-C8 (DESIGN.md's per-experiment index)
-// plus the C9 batched-transaction measurement as measured tables.
+// plus the C9 batched-transaction measurement and the C10 durable-
+// commit fsync-policy measurement as measured tables.
 //
 // Usage:
 //
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (C1-C9); empty runs all")
+	exp := flag.String("exp", "", "experiment id (C1-C10); empty runs all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	flag.Parse()
 	if err := run(strings.ToUpper(*exp), *quick); err != nil {
@@ -34,12 +35,14 @@ func run(exp string, quick bool) error {
 	qedOps := 10000
 	growth := []int{10, 100, 1000, 5000}
 	batchOps, batchSize := 2000, 64
+	durCommits, durBatch := 200, 16
 	cfg := core.DefaultProbeConfig()
 	if quick {
 		storms = 15
 		qedOps = 1500
 		growth = []int{10, 100, 1000}
 		batchOps, batchSize = 400, 32
+		durCommits, durBatch = 40, 8
 		cfg.BaseNodes, cfg.StormOps, cfg.SkewedOps, cfg.ZigzagOps, cfg.XPathNodes = 100, 100, 300, 100, 36
 	}
 	runners := []struct {
@@ -58,6 +61,7 @@ func run(exp string, quick bool) error {
 			return t, err
 		}},
 		{"C9", func() (experiments.Table, error) { return experiments.C9BatchedUpdates(batchOps, batchSize) }},
+		{"C10", func() (experiments.Table, error) { return experiments.C10CommitLatency(durCommits, durBatch) }},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -72,7 +76,7 @@ func run(exp string, quick bool) error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (C1-C9)", exp)
+		return fmt.Errorf("unknown experiment %q (C1-C10)", exp)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -16,11 +17,12 @@ import (
 	"xmldyn"
 )
 
-const (
-	writers      = 6
-	readers      = 12
-	opsPerWriter = 30
-	batchSize    = 8
+// Workload shape, adjustable from the command line (see README.md).
+var (
+	writers      = flag.Int("writers", 6, "concurrent writer goroutines")
+	readers      = flag.Int("readers", 12, "concurrent reader goroutines")
+	opsPerWriter = flag.Int("ops", 30, "commits per writer (and reads per reader)")
+	batchSize    = flag.Int("batch", 8, "ops per batched transaction")
 )
 
 // A scheme-diverse catalogue: every document lives under a different
@@ -38,6 +40,13 @@ var catalogue = []struct {
 }
 
 func main() {
+	flag.Parse()
+	// Writer names drive the reader queries; with no writers the
+	// readers query a name no writer uses (and never divide by zero).
+	wmod := *writers
+	if wmod < 1 {
+		wmod = 1
+	}
 	r := xmldyn.NewRepository(xmldyn.RepoOptions{Shards: 4})
 	for _, c := range catalogue {
 		doc, err := xmldyn.ParseString("<root/>")
@@ -70,16 +79,16 @@ func main() {
 
 	// Writers: batched mixed insert/delete transactions, serialized
 	// per document, parallel across documents.
-	for w := 0; w < writers; w++ {
+	for w := 0; w < *writers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			name := catalogue[w%len(catalogue)].name
-			for i := 0; i < opsPerWriter; i++ {
+			for i := 0; i < *opsPerWriter; i++ {
 				err := r.Update(name, func(s *xmldyn.Session) error {
 					root := s.Document().Root()
 					b := s.Batch()
-					for j := 0; j < batchSize; j++ {
+					for j := 0; j < *batchSize; j++ {
 						b.AppendChild(root, fmt.Sprintf("w%d", w))
 					}
 					if kids := root.Children(); len(kids) > 60 {
@@ -105,12 +114,12 @@ func main() {
 
 	// Readers: queries and order verifications, any number in
 	// parallel per document.
-	for g := 0; g < readers; g++ {
+	for g := 0; g < *readers; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			name := catalogue[g%len(catalogue)].name
-			for i := 0; i < opsPerWriter; i++ {
+			for i := 0; i < *opsPerWriter; i++ {
 				if i%4 == 0 {
 					d, _ := r.Get(name)
 					if err := d.Verify(); err != nil {
@@ -120,7 +129,7 @@ func main() {
 				}
 				// Zero-copy query: the live nodes are only touched
 				// inside the read lock.
-				err := r.QueryFunc(name, fmt.Sprintf("//w%d", g%writers), func(nodes []*xmldyn.Node) error {
+				err := r.QueryFunc(name, fmt.Sprintf("//w%d", g%wmod), func(nodes []*xmldyn.Node) error {
 					atomic.AddInt64(&hits, int64(len(nodes)))
 					return nil
 				})

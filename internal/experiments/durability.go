@@ -1,0 +1,112 @@
+// C10: commit latency under the write-ahead log's fsync policies. The
+// durable repository makes every committed batch crash-safe; what that
+// costs per commit depends on when records reach stable storage —
+// fsync on every commit, grouped fsyncs shared by concurrent
+// committers, or asynchronous background fsyncs with a bounded loss
+// window. This experiment measures the trade the policies buy.
+
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"xmldyn/internal/repo"
+	"xmldyn/internal/update"
+	"xmldyn/internal/wal"
+	"xmldyn/internal/xmltree"
+)
+
+// C10CommitLatency commits `commits` batches of `batchSize` appends
+// per writer against a durable repository, once per fsync policy and
+// once per writer count (1 and 4 concurrent writers on distinct
+// documents), and reports mean commit latency and throughput. Each run
+// uses a fresh temporary directory that is removed afterwards.
+func C10CommitLatency(commits, batchSize int) (Table, error) {
+	t := Table{
+		ID:      "C10",
+		Claim:   "WAL fsync policy trades commit latency against the crash loss window",
+		Headers: []string{"policy", "writers", "commits", "total ms", "µs/commit", "commits/s"},
+	}
+	for _, pol := range []wal.SyncPolicy{wal.SyncPerCommit, wal.SyncGrouped, wal.SyncAsync} {
+		for _, writers := range []int{1, 4} {
+			elapsed, err := runC10(pol, writers, commits, batchSize)
+			if err != nil {
+				return t, err
+			}
+			total := writers * commits
+			t.Rows = append(t.Rows, []string{
+				pol.String(),
+				fmt.Sprintf("%d", writers),
+				fmt.Sprintf("%d", total),
+				fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000),
+				fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/float64(total)),
+				fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("each commit is one batch of %d appends; writers commit to distinct documents", batchSize),
+		"per-commit: durable on return, one fsync per commit — the latency floor is the disk flush",
+		"grouped: durable on return, committers arriving during an in-flight fsync share the next one",
+		"async: returns before fsync; loss window bounded by the background flush interval")
+	return t, nil
+}
+
+// runC10 times one policy/writer-count combination.
+func runC10(pol wal.SyncPolicy, writers, commits, batchSize int) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "xmldyn-c10-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	d, err := repo.OpenDurable(dir, repo.DurableOptions{Sync: pol})
+	if err != nil {
+		return 0, err
+	}
+	defer d.Close()
+	for w := 0; w < writers; w++ {
+		doc, err := xmltree.ParseString("<r><seed/></r>")
+		if err != nil {
+			return 0, err
+		}
+		if err := d.Open(fmt.Sprintf("doc%d", w), doc, "qed"); err != nil {
+			return 0, err
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("doc%d", w)
+			for c := 0; c < commits; c++ {
+				_, err := d.Batch(name, func(doc *xmltree.Document, b *update.Batch) error {
+					root := doc.Root()
+					for i := 0; i < batchSize; i++ {
+						b.AppendChild(root, "item")
+					}
+					return nil
+				})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("writer %d commit %d: %w", w, c, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return elapsed, firstErr
+}

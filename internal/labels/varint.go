@@ -112,3 +112,29 @@ func DecodeLEB128(b []byte) (uint64, int, error) {
 	}
 	return 0, 0, fmt.Errorf("%w: truncated LEB128", ErrBadCode)
 }
+
+// AppendString appends a length-prefixed string: LEB128 byte length,
+// then the raw bytes. It is the shared wire convention of the store
+// containers, the checkpoint manifest, WAL record payloads and the
+// batched-op codec (docs/DURABILITY.md §2).
+func AppendString(out []byte, s string) []byte {
+	out = append(out, EncodeLEB128(uint64(len(s)))...)
+	return append(out, s...)
+}
+
+// CutString decodes one length-prefixed string starting at data[pos],
+// returning the string and the offset just past it.
+func CutString(data []byte, pos int) (string, int, error) {
+	if pos >= len(data) {
+		return "", 0, fmt.Errorf("%w: truncated string length", ErrBadCode)
+	}
+	l, n, err := DecodeLEB128(data[pos:])
+	if err != nil {
+		return "", 0, err
+	}
+	pos += n
+	if l > uint64(len(data)-pos) {
+		return "", 0, fmt.Errorf("%w: string of %d bytes exceeds buffer", ErrBadCode, l)
+	}
+	return string(data[pos : pos+int(l)]), pos + int(l), nil
+}

@@ -1,0 +1,579 @@
+// Durable repositories: the Repository's batched transactions backed
+// by a write-ahead log, so every committed batch survives a crash and
+// OpenDurable replays snapshot + log back to the exact committed state
+// (labels, order and attributes included — replay re-runs the same
+// deterministic op stream the live session ran). docs/DURABILITY.md
+// specifies the on-disk format and recovery protocol in full.
+//
+// Directory layout (all names chosen by the checkpoint manifest):
+//
+//	MANIFEST            store version-3 manifest: generation, snapshot, wal
+//	snapshot-NNNNNN.xdyn  version-2 container as of the last checkpoint
+//	wal-NNNNNN.log        batches committed since that snapshot
+//
+// Locking protocol, outermost first (see docs/ARCHITECTURE.md):
+//
+//	commitMu  writers share-lock it; Checkpoint/Close take it
+//	          exclusively, so a checkpoint never interleaves with a
+//	          half-appended commit
+//	doc.mu    per-document writer serialisation, as in Repository;
+//	          batch records are appended while it is held, so per-
+//	          document log order equals commit order (the log file
+//	          itself serialises cross-document writes internally)
+//	walMu     serialises registry records (Open/Drop), whose
+//	          check-append-register sequence must be atomic, and
+//	          guards the sticky WAL failure
+//	shard.mu  name-space lookups, innermost
+//
+// Mutations must go through the DurableRepository methods — the inner
+// Repository and its Docs are deliberately not exposed, because a
+// mutation that bypasses the log would be silently lost at recovery.
+// (File comment — the package doc lives in repo.go.)
+
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"xmldyn/internal/core"
+	"xmldyn/internal/labels"
+	"xmldyn/internal/store"
+	"xmldyn/internal/update"
+	"xmldyn/internal/wal"
+	"xmldyn/internal/xmltree"
+)
+
+// Durable repository errors.
+var (
+	// ErrClosed reports use of a closed durable repository.
+	ErrClosed = errors.New("repo: durable repository is closed")
+	// ErrReplay wraps a recovery failure: the manifest, snapshot or log
+	// could not be read back into a consistent repository.
+	ErrReplay = errors.New("repo: wal replay failed")
+	// ErrWALFailed reports a commit whose state was applied in memory
+	// but could not be appended to the log. The repository refuses
+	// further durable commits until a Checkpoint rewrites full state.
+	ErrWALFailed = errors.New("repo: wal append failed; checkpoint to recover")
+)
+
+// WAL record type bytes (docs/DURABILITY.md). Each log payload starts
+// with one of these.
+const (
+	// RecOpen logs a document registration: name, scheme and the
+	// initial tree image.
+	RecOpen byte = 1
+	// RecBatch logs one committed batch: document name plus the
+	// update-layer op encoding.
+	RecBatch byte = 2
+	// RecDrop logs a document removal by name.
+	RecDrop byte = 3
+)
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Repo configures the in-memory repository (shards, auto-verify).
+	Repo Options
+	// Sync is the WAL fsync policy (default wal.SyncPerCommit).
+	Sync wal.SyncPolicy
+	// GroupWindow overrides the grouped-sync accumulation window.
+	GroupWindow time.Duration
+	// FlushInterval overrides the async policy's background fsync
+	// period (the crash loss window).
+	FlushInterval time.Duration
+}
+
+func (o DurableOptions) walOptions() wal.Options {
+	return wal.Options{Policy: o.Sync, GroupWindow: o.GroupWindow, FlushInterval: o.FlushInterval}
+}
+
+// DurableRepository is a Repository whose commits are write-ahead
+// logged. Reads (View, Query, QueryFunc, Names, Len, Verify) are
+// served by the in-memory repository exactly as in Repository; every
+// mutation (Open, Drop, Update, Batch) is appended to the log before
+// the per-document write lock is released, and Checkpoint folds the
+// log into a fresh snapshot. A DurableRepository must be owned by one
+// process at a time; there is no cross-process file locking.
+type DurableRepository struct {
+	repo *Repository
+	dir  string
+	opts DurableOptions
+
+	// commitMu: writers take the read side, Checkpoint/Close the write
+	// side — see the package doc's locking protocol.
+	commitMu sync.RWMutex
+	// walMu serialises registry-record appends and guards failed.
+	// Batch appends do not take it: their order is already fixed by
+	// doc.mu, and holding a lock across a grouped append would
+	// serialise the very commits group fsync exists to overlap.
+	walMu  sync.Mutex
+	log    *wal.Log
+	gen    uint64
+	failed error // sticky ErrWALFailed cause, cleared by Checkpoint
+	closed bool
+}
+
+func snapshotFileName(gen uint64) string { return fmt.Sprintf("snapshot-%06d.xdyn", gen) }
+func walFileName(gen uint64) string      { return fmt.Sprintf("wal-%06d.log", gen) }
+
+// OpenDurable opens (creating if necessary) the durable repository in
+// dir: it reads the manifest, loads the snapshot it names, replays the
+// log it names — stopping cleanly at a torn tail — and truncates the
+// tail so new commits extend the last valid record. Files the manifest
+// does not name (orphans of a checkpoint that crashed before its
+// manifest switch) are removed.
+func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man, err := store.ReadManifest(dir)
+	if os.IsNotExist(err) {
+		return bootstrapDurable(dir, opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrReplay, err)
+	}
+
+	r := New(opts.Repo)
+	if man.Snapshot != "" {
+		data, err := os.ReadFile(filepath.Join(dir, man.Snapshot))
+		if err != nil {
+			return nil, fmt.Errorf("%w: snapshot: %v", ErrReplay, err)
+		}
+		if r, err = Load(data, opts.Repo); err != nil {
+			return nil, fmt.Errorf("%w: snapshot: %v", ErrReplay, err)
+		}
+	}
+	d := &DurableRepository{repo: r, dir: dir, opts: opts, gen: man.Gen}
+	walPath := filepath.Join(dir, man.WAL)
+	info, err := wal.Replay(walPath, d.applyRecord)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrReplay, err)
+	}
+	if d.log, err = wal.OpenAt(walPath, opts.walOptions(), info.ValidSize); err != nil {
+		return nil, fmt.Errorf("%w: reopen log: %v", ErrReplay, err)
+	}
+	d.removeOrphans(man)
+	return d, nil
+}
+
+// bootstrapDurable initialises a fresh directory: generation 1, no
+// snapshot, an empty log, then the manifest that makes them current.
+// A crash before the manifest write leaves no manifest, so the next
+// OpenDurable simply bootstraps again.
+func bootstrapDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
+	gen := uint64(1)
+	walName := walFileName(gen)
+	log, err := wal.Create(filepath.Join(dir, walName), opts.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	if err := store.WriteManifest(dir, store.Manifest{Gen: gen, Snapshot: "", WAL: walName}); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return &DurableRepository{repo: New(opts.Repo), dir: dir, opts: opts, log: log, gen: gen}, nil
+}
+
+// removeOrphans deletes generation files the manifest does not name —
+// leftovers of a checkpoint that crashed before or after its manifest
+// switch — plus stray atomic-write temp files.
+func (d *DurableRepository) removeOrphans(man store.Manifest) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == store.ManifestName || name == man.Snapshot || name == man.WAL {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") ||
+			(strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".xdyn")) ||
+			(strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log")) {
+			_ = os.Remove(filepath.Join(d.dir, name))
+		}
+	}
+}
+
+// applyRecord replays one log payload during OpenDurable.
+func (d *DurableRepository) applyRecord(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	rec, body := payload[0], payload[1:]
+	name, pos, err := readRecordString(body)
+	if err != nil {
+		return err
+	}
+	body = body[pos:]
+	switch rec {
+	case RecOpen:
+		scheme, pos, err := readRecordString(body)
+		if err != nil {
+			return err
+		}
+		doc, err := update.DecodeDocTree(body[pos:])
+		if err != nil {
+			return err
+		}
+		_, err = d.repo.Open(name, doc, scheme)
+		return err
+	case RecBatch:
+		doc, ok := d.repo.Get(name)
+		if !ok {
+			// Cannot happen in a well-formed log: Drop holds the doc
+			// write lock while appending its record, and Batch re-checks
+			// membership under that lock, so no batch record can follow
+			// its document's drop record.
+			return fmt.Errorf("batch for unknown document %q", name)
+		}
+		ops, err := update.DecodeOps(doc.sess.Document(), body)
+		if err != nil {
+			return err
+		}
+		_, err = doc.sess.Apply(ops)
+		return err
+	case RecDrop:
+		if len(body) != 0 {
+			return fmt.Errorf("drop record has %d trailing bytes", len(body))
+		}
+		d.repo.Drop(name)
+		return nil
+	default:
+		return fmt.Errorf("unknown record type %d", rec)
+	}
+}
+
+// --- mutations ---------------------------------------------------------------
+
+// Open labels doc under the named scheme, registers it and logs the
+// registration (name, scheme and the full initial tree image), so
+// recovery can rebuild documents opened since the last checkpoint.
+func (d *DurableRepository) Open(name string, doc *xmltree.Document, scheme string) error {
+	if name == "" {
+		return ErrEmptyName
+	}
+	sess, err := newSchemeSession(doc, scheme)
+	if err != nil {
+		return err
+	}
+	payload := appendRecordString([]byte{RecOpen}, name)
+	payload = appendRecordString(payload, scheme)
+	payload = append(payload, update.EncodeDocTree(doc)...)
+
+	d.commitMu.RLock()
+	defer d.commitMu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	if err := d.checkFailed(); err != nil {
+		return err
+	}
+	if _, dup := d.repo.Get(name); dup {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if err := d.log.Append(payload); err != nil {
+		return d.poison(err)
+	}
+	_, err = d.repo.add(name, scheme, sess)
+	return err
+}
+
+// Drop removes the named document and logs the removal. It reports
+// whether the document existed.
+func (d *DurableRepository) Drop(name string) (bool, error) {
+	d.commitMu.RLock()
+	defer d.commitMu.RUnlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	doc, ok := d.repo.Get(name)
+	if !ok {
+		return false, nil
+	}
+	// Hold the document's write lock across the append so no batch on
+	// this document can slip its record after the drop record.
+	doc.mu.Lock()
+	defer doc.mu.Unlock()
+	if cur, ok := d.repo.Get(name); !ok || cur != doc {
+		return false, nil
+	}
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	if err := d.checkFailed(); err != nil {
+		return false, err
+	}
+	if err := d.log.Append(appendRecordString([]byte{RecDrop}, name)); err != nil {
+		return false, d.poison(err)
+	}
+	return d.repo.Drop(name), nil
+}
+
+// Batch runs build against the named document's live tree under the
+// write lock, then commits the queued ops as one logged transaction:
+// the batch is serialised against the pre-batch tree, applied (with
+// the update layer's pre-validation, rollback and order verification),
+// and appended to the log before the lock is released. On any apply
+// error nothing is logged and the document is untouched. The result's
+// created nodes are detached deep copies, as in Repository.Batch.
+//
+// build receives the document (not the session) deliberately: every
+// mutation must be expressed as a queued op so it is logged — a direct
+// session call inside the callback would commit in memory, be missing
+// from the log, and silently shift the structural paths of every later
+// record. Navigate the tree to find reference nodes, queue ops on b.
+func (d *DurableRepository) Batch(name string, build func(*xmltree.Document, *update.Batch) error) (*update.BatchResult, error) {
+	d.commitMu.RLock()
+	defer d.commitMu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	doc, ok := d.repo.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	doc.mu.Lock()
+	defer doc.mu.Unlock()
+	if cur, ok := d.repo.Get(name); !ok || cur != doc {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err := d.checkFailedLocked(); err != nil {
+		return nil, err
+	}
+	b := doc.sess.Batch()
+	if err := build(doc.sess.Document(), b); err != nil {
+		return nil, err
+	}
+	if b.Len() == 0 {
+		return &update.BatchResult{}, nil
+	}
+	// Serialise before applying: paths must address the pre-batch tree,
+	// the state replay resolves them against.
+	payload := appendRecordString([]byte{RecBatch}, name)
+	opsData, err := update.EncodeOps(doc.sess.Document(), b.Ops())
+	if err != nil {
+		return nil, err
+	}
+	payload = append(payload, opsData...)
+	res, err := doc.sess.Apply(b.Ops())
+	if err != nil {
+		return nil, err
+	}
+	// No walMu here: doc.mu fixes this document's record order and the
+	// log serialises writes internally, so concurrent batches on other
+	// documents keep committing — and, under grouped sync, share the
+	// in-flight fsync.
+	if aerr := d.log.Append(payload); aerr != nil {
+		// The batch is applied in memory but not durable: poison the
+		// repository so the divergence cannot widen silently.
+		return nil, d.poisonLocked(aerr)
+	}
+	out := &update.BatchResult{New: make([]*xmltree.Node, len(res.New))}
+	for i, n := range res.New {
+		if n != nil {
+			out.New[i] = n.Clone()
+		}
+	}
+	return out, nil
+}
+
+// Update commits pre-built ops against the named document as one
+// logged transaction. The ops' reference nodes must belong to the
+// document's live tree (obtain them inside a Batch build function, or
+// via View/QueryFunc while no writer runs).
+func (d *DurableRepository) Update(name string, ops ...update.Op) (*update.BatchResult, error) {
+	return d.Batch(name, func(_ *xmltree.Document, b *update.Batch) error {
+		for _, op := range ops {
+			b.Add(op)
+		}
+		return nil
+	})
+}
+
+// checkFailed refuses commits after a WAL append failure. The caller
+// must hold walMu; the batch path uses the Locked variant.
+func (d *DurableRepository) checkFailed() error {
+	if d.failed != nil {
+		return fmt.Errorf("%w: %v", ErrWALFailed, d.failed)
+	}
+	return nil
+}
+
+// checkFailedLocked is checkFailed behind walMu, for the batch path.
+func (d *DurableRepository) checkFailedLocked() error {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	return d.checkFailed()
+}
+
+// poison records a WAL append failure (sticky until Checkpoint). The
+// caller must hold walMu; the batch path uses the Locked variant.
+func (d *DurableRepository) poison(cause error) error {
+	d.failed = cause
+	return fmt.Errorf("%w: %v", ErrWALFailed, cause)
+}
+
+// poisonLocked is poison behind walMu, for the batch path.
+func (d *DurableRepository) poisonLocked(cause error) error {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	return d.poison(cause)
+}
+
+// --- reads -------------------------------------------------------------------
+
+// View runs fn with the named document's session under the read lock.
+// fn must not mutate: beyond the data race it would be on a durable
+// repository, an unlogged mutation is silently lost at recovery and
+// shifts the structural paths of every later log record.
+func (d *DurableRepository) View(name string, fn func(*update.Session) error) error {
+	return d.repo.View(name, fn)
+}
+
+// Query evaluates a location path against the named document,
+// returning detached deep copies of the matches.
+func (d *DurableRepository) Query(name, path string) ([]*xmltree.Node, error) {
+	return d.repo.Query(name, path)
+}
+
+// QueryFunc evaluates a location path and hands the live result nodes
+// to fn inside the read lock (zero-copy; see Doc.QueryFunc).
+func (d *DurableRepository) QueryFunc(name, path string, fn func([]*xmltree.Node) error) error {
+	return d.repo.QueryFunc(name, path, fn)
+}
+
+// Names lists all document names, sorted.
+func (d *DurableRepository) Names() []string { return d.repo.Names() }
+
+// Len counts the documents.
+func (d *DurableRepository) Len() int { return d.repo.Len() }
+
+// Verify re-checks the named document's order invariant.
+func (d *DurableRepository) Verify(name string) error {
+	doc, ok := d.repo.Get(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return doc.Verify()
+}
+
+// Scheme names the registry scheme the named document was opened
+// under, and whether the document exists.
+func (d *DurableRepository) Scheme(name string) (string, bool) {
+	doc, ok := d.repo.Get(name)
+	if !ok {
+		return "", false
+	}
+	return doc.Scheme(), true
+}
+
+// Generation returns the current checkpoint generation.
+func (d *DurableRepository) Generation() uint64 {
+	d.commitMu.RLock()
+	defer d.commitMu.RUnlock()
+	return d.gen
+}
+
+// LogSize returns the current WAL file size in bytes — a checkpoint
+// trigger signal for callers that checkpoint by log growth.
+func (d *DurableRepository) LogSize() int64 {
+	d.commitMu.RLock()
+	defer d.commitMu.RUnlock()
+	if d.closed {
+		return 0
+	}
+	return d.log.Size()
+}
+
+// --- checkpoint and close ----------------------------------------------------
+
+// Checkpoint folds the log into a fresh snapshot: it excludes all
+// writers, saves the whole repository into a new version-2 container,
+// starts a new empty log, switches the manifest to the new generation
+// atomically, and deletes the old generation's files. A crash at any
+// step recovers to a consistent state — before the manifest switch the
+// old snapshot+log pair is replayed and the new generation's files are
+// removed as orphans; after it, the new pair is current. Checkpoint
+// also clears a WAL append failure: the new snapshot re-captures the
+// full in-memory state, so nothing the failed log lost is missing.
+func (d *DurableRepository) Checkpoint() error {
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	data, err := d.repo.Save()
+	if err != nil {
+		return err
+	}
+	newGen := d.gen + 1
+	snapName := snapshotFileName(newGen)
+	if err := store.WriteFileAtomic(filepath.Join(d.dir, snapName), data); err != nil {
+		return err
+	}
+	walName := walFileName(newGen)
+	newLog, err := wal.Create(filepath.Join(d.dir, walName), d.opts.walOptions())
+	if err != nil {
+		return err
+	}
+	if err := store.SyncDir(d.dir); err != nil {
+		newLog.Close()
+		return err
+	}
+	if err := store.WriteManifest(d.dir, store.Manifest{Gen: newGen, Snapshot: snapName, WAL: walName}); err != nil {
+		newLog.Close()
+		return err
+	}
+	// The new generation is current: retire the old one. Close errors
+	// on a poisoned log are expected and must not fail the checkpoint.
+	oldLog, oldGen := d.log, d.gen
+	d.log, d.gen, d.failed = newLog, newGen, nil
+	_ = oldLog.Close()
+	_ = os.Remove(filepath.Join(d.dir, walFileName(oldGen)))
+	_ = os.Remove(filepath.Join(d.dir, snapshotFileName(oldGen)))
+	return nil
+}
+
+// Close syncs and closes the log. The repository refuses all further
+// operations; reopen with OpenDurable.
+func (d *DurableRepository) Close() error {
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}
+
+// newSchemeSession builds a session for doc under a registry scheme
+// name, sharing Repository.Open's validation.
+func newSchemeSession(doc *xmltree.Document, scheme string) (*update.Session, error) {
+	s, ok := core.SchemeByName(scheme)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoScheme, scheme)
+	}
+	return update.NewSession(doc, s.Factory())
+}
+
+// --- record string helpers ---------------------------------------------------
+
+// appendRecordString and readRecordString delegate to the shared
+// length-prefixed string codec in internal/labels.
+func appendRecordString(out []byte, s string) []byte { return labels.AppendString(out, s) }
+
+func readRecordString(data []byte) (string, int, error) {
+	s, next, err := labels.CutString(data, 0)
+	if err != nil {
+		return "", 0, fmt.Errorf("record string: %v", err)
+	}
+	return s, next, nil
+}

@@ -1,0 +1,488 @@
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"xmldyn/internal/encoding"
+	"xmldyn/internal/store"
+	"xmldyn/internal/update"
+	"xmldyn/internal/wal"
+	"xmldyn/internal/xmltree"
+)
+
+// docTable captures a document's full observable state — labels, label
+// order, names, values and attributes — as its encoding table.
+func docTable(t *testing.T, d *DurableRepository, name string) []encoding.Row {
+	t.Helper()
+	var rows []encoding.Row
+	err := d.View(name, func(s *update.Session) error {
+		rows = encoding.Wrap(s.Document(), s.Labeling()).Table()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// docXML captures a document's serialised tree. Unlike docTable it is
+// label-independent: recovery through a checkpoint snapshot rebuilds
+// labelings fresh (exactly as Repository.Load does), so post-snapshot
+// comparisons are of trees, while pure log replay is label-exact.
+func docXML(t *testing.T, d *DurableRepository, name string) string {
+	t.Helper()
+	var out string
+	err := d.View(name, func(s *update.Session) error {
+		out = s.Document().XML()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mustParse(t *testing.T, text string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// seedAndBatch opens two documents and commits n batches against each,
+// mixing inserts, deletes, attribute and text updates.
+func seedAndBatch(t *testing.T, d *DurableRepository, n int) {
+	t.Helper()
+	if err := d.Open("books", mustParse(t, `<lib><book id="b0"><title>Zero</title></book></lib>`), "qed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Open("feeds", mustParse(t, `<feeds><f/></feeds>`), "deweyid"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+			root := doc.Root()
+			nb := b.AppendChild(root, fmt.Sprintf("book%d", i))
+			nb.SetAttr(root, "count", fmt.Sprintf("%d", i+1))
+			if kids := root.Children(); i%3 == 2 && len(kids) > 2 {
+				b.Delete(kids[1])
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("books batch %d: %v", i, err)
+		}
+		_, err = d.Batch("feeds", func(doc *xmltree.Document, b *update.Batch) error {
+			f := doc.Root().Children()[0]
+			b.InsertAfter(f, fmt.Sprintf("e%d", i))
+			b.SetText(f, fmt.Sprintf("tick %d", i))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("feeds batch %d: %v", i, err)
+		}
+	}
+}
+
+// The headline acceptance test: commit N batches, "crash" (abandon the
+// repository without Close or Checkpoint), reopen, and require the
+// replayed state — labels, order, attributes — to equal the state of a
+// never-crashed run of the same program.
+func TestKillAndRecoverReplaysExactly(t *testing.T) {
+	const batches = 17
+	dirA, dirB := t.TempDir(), t.TempDir()
+
+	crashed, err := OpenDurable(dirA, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndBatch(t, crashed, batches)
+	// Crash: no Close, no Checkpoint. SyncPerCommit means every commit
+	// is already in the file.
+	wantBooks := docTable(t, crashed, "books")
+	wantFeeds := docTable(t, crashed, "feeds")
+
+	survivor, err := OpenDurable(dirB, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndBatch(t, survivor, batches)
+
+	recovered, err := OpenDurable(dirA, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer recovered.Close()
+	for _, docName := range []string{"books", "feeds"} {
+		if err := recovered.Verify(docName); err != nil {
+			t.Fatalf("recovered %q order: %v", docName, err)
+		}
+	}
+	if got := docTable(t, recovered, "books"); !reflect.DeepEqual(got, wantBooks) {
+		t.Fatalf("recovered books diverged from crashed state:\n got %v\nwant %v", got, wantBooks)
+	}
+	if got, viaSurvivor := docTable(t, recovered, "feeds"), docTable(t, survivor, "feeds"); !reflect.DeepEqual(got, wantFeeds) || !reflect.DeepEqual(got, viaSurvivor) {
+		t.Fatalf("recovered feeds diverged:\n got %v\nwant %v (crashed) / %v (survivor)", got, wantFeeds, viaSurvivor)
+	}
+	if scheme, ok := recovered.Scheme("feeds"); !ok || scheme != "deweyid" {
+		t.Fatalf("recovered feeds scheme = %q, %v", scheme, ok)
+	}
+	_ = survivor.Close()
+}
+
+// A torn final record (crash mid-append) must cost exactly the torn
+// commit: replay stops at the last valid batch.
+func TestRecoveryStopsAtTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndBatch(t, d, 6)
+	before := docTable(t, d, "books")
+	// One more commit, which the "crash" will tear.
+	if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "torn")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := store.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, man.WAL)
+	st, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: chop bytes out of its payload tail.
+	if err := os.Truncate(walPath, st.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery after torn tail: %v", err)
+	}
+	defer recovered.Close()
+	got := docTable(t, recovered, "books")
+	if !reflect.DeepEqual(got, before) {
+		t.Fatalf("torn tail recovery diverged from last valid commit:\n got %v\nwant %v", got, before)
+	}
+	// The tail was truncated on reopen: appending works and survives
+	// another recovery.
+	if _, err := recovered.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "after")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Checkpoint folds the log into a snapshot: the log restarts empty,
+// state survives reopen, and pre-checkpoint files are gone.
+func TestCheckpointTruncatesLogAndSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndBatch(t, d, 8)
+	grownLog := d.LogSize()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if d.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", d.Generation())
+	}
+	if size := d.LogSize(); size >= grownLog || size != int64(wal.HeaderSize) {
+		t.Fatalf("log size after checkpoint = %d, want bare header %d", size, wal.HeaderSize)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFileName(1))); !os.IsNotExist(err) {
+		t.Fatalf("old wal still present: %v", err)
+	}
+	// Post-checkpoint commits land in the new log.
+	if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "post")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	post := docXML(t, d, "books")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("reopen after checkpoint: %v", err)
+	}
+	defer reopened.Close()
+	if got := docXML(t, reopened, "books"); got != post {
+		t.Fatalf("post-checkpoint recovery diverged:\n got %s\nwant %s", got, post)
+	}
+	if err := reopened.Verify("books"); err != nil {
+		t.Fatalf("reopened order: %v", err)
+	}
+}
+
+// Kill-during-checkpoint: a crash after the new generation's files are
+// written but before the manifest switch must recover from the OLD
+// snapshot+log pair and clean up the orphans; a crash just after the
+// switch must recover from the new pair.
+func TestKillDuringCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndBatch(t, d, 5)
+	want := docTable(t, d, "books")
+
+	// Simulate the crash window: write the next generation's snapshot
+	// and empty wal exactly as Checkpoint does, then "crash" before the
+	// manifest switch.
+	data, err := d.repo.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(2)), data); err != nil {
+		t.Fatal(err)
+	}
+	orphanLog, err := wal.Create(filepath.Join(dir, walFileName(2)), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = orphanLog.Close()
+	// Also leave a torn snapshot temp file, as an interrupted atomic
+	// write would.
+	if err := os.WriteFile(filepath.Join(dir, snapshotFileName(3)+".tmp"), data[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery mid-checkpoint: %v", err)
+	}
+	if recovered.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1 (manifest never switched)", recovered.Generation())
+	}
+	if got := docTable(t, recovered, "books"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mid-checkpoint recovery diverged:\n got %v\nwant %v", got, want)
+	}
+	for _, orphan := range []string{snapshotFileName(2), walFileName(2), snapshotFileName(3) + ".tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, orphan)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s not cleaned up", orphan)
+		}
+	}
+
+	// Other side of the window: a completed manifest switch with the
+	// old generation's files still lying around (crash before delete).
+	if err := recovered.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	wantXML := docXML(t, recovered, "books")
+	man, err := store.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recreate stale generation-1 leftovers.
+	if err := os.WriteFile(filepath.Join(dir, snapshotFileName(1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := wal.Create(filepath.Join(dir, walFileName(1)), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stale.Close()
+
+	reopened, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery post-switch: %v", err)
+	}
+	defer reopened.Close()
+	if reopened.Generation() != man.Gen {
+		t.Fatalf("generation = %d, want %d", reopened.Generation(), man.Gen)
+	}
+	if got := docXML(t, reopened, "books"); got != wantXML {
+		t.Fatalf("post-switch recovery diverged:\n got %s\nwant %s", got, wantXML)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFileName(1))); !os.IsNotExist(err) {
+		t.Fatal("stale generation-1 wal not cleaned up")
+	}
+}
+
+// Opens and drops are logged too: a document opened after the last
+// checkpoint, then dropped, then reopened with different content must
+// recover to exactly the final state.
+func TestOpenDropReplay(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Open("a", mustParse(t, "<a><one/></a>"), "qed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Open("b", mustParse(t, "<b/>"), "ordpath"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Open("a", mustParse(t, "<a/>"), "qed"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate open: %v, want ErrExists", err)
+	}
+	if ok, err := d.Drop("a"); !ok || err != nil {
+		t.Fatalf("drop: %v %v", ok, err)
+	}
+	if ok, err := d.Drop("a"); ok || err != nil {
+		t.Fatalf("double drop: %v %v", ok, err)
+	}
+	if err := d.Open("a", mustParse(t, "<a><two x='y'/></a>"), "deweyid"); err != nil {
+		t.Fatal(err)
+	}
+	want := docTable(t, d, "a")
+
+	recovered, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer recovered.Close()
+	if names := recovered.Names(); !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Fatalf("names = %v", names)
+	}
+	if scheme, _ := recovered.Scheme("a"); scheme != "deweyid" {
+		t.Fatalf("replayed scheme = %q, want deweyid (the re-open)", scheme)
+	}
+	if got := docTable(t, recovered, "a"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("open/drop replay diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// A failed batch (bad op) must leave neither tree changes nor a log
+// record, so recovery matches the unfailed history.
+func TestFailedBatchLogsNothing(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndBatch(t, d, 3)
+	want := docTable(t, d, "books")
+	size := d.LogSize()
+	_, err = d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "ok")
+		b.Delete(xmltree.NewElement("detached")) // fails validation
+		return nil
+	})
+	if err == nil {
+		t.Fatal("invalid batch committed")
+	}
+	if d.LogSize() != size {
+		t.Fatal("failed batch appended a record")
+	}
+	if got := docTable(t, d, "books"); !reflect.DeepEqual(got, want) {
+		t.Fatal("failed batch mutated the tree")
+	}
+	recovered, err := OpenDurable(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = recovered.Close()
+}
+
+// Concurrent writers on distinct documents commit in parallel under
+// every sync policy, and recovery replays the interleaved log.
+func TestConcurrentDurableCommits(t *testing.T) {
+	for _, pol := range []wal.SyncPolicy{wal.SyncPerCommit, wal.SyncGrouped, wal.SyncAsync} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := OpenDurable(dir, DurableOptions{Sync: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const docs, commits = 4, 12
+			for i := 0; i < docs; i++ {
+				if err := d.Open(fmt.Sprintf("doc%d", i), mustParse(t, "<r><s/></r>"), "qed"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < docs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					name := fmt.Sprintf("doc%d", i)
+					for c := 0; c < commits; c++ {
+						_, err := d.Batch(name, func(doc *xmltree.Document, b *update.Batch) error {
+							b.AppendChild(doc.Root(), fmt.Sprintf("c%d", c))
+							return nil
+						})
+						if err != nil {
+							t.Errorf("%s commit %d: %v", name, c, err)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			if err := d.Close(); err != nil { // Close syncs the async tail
+				t.Fatal(err)
+			}
+			recovered, err := OpenDurable(dir, DurableOptions{})
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer recovered.Close()
+			for i := 0; i < docs; i++ {
+				name := fmt.Sprintf("doc%d", i)
+				err := recovered.View(name, func(s *update.Session) error {
+					if got := len(s.Document().Root().Children()); got != commits+1 {
+						return fmt.Errorf("%s has %d children, want %d", name, got, commits+1)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := recovered.Verify(name); err != nil {
+					t.Fatalf("%s order: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// Closed repositories refuse everything.
+func TestDurableClosedErrors(t *testing.T) {
+	d, err := OpenDurable(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := d.Open("x", mustParse(t, "<x/>"), "qed"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("open after close: %v", err)
+	}
+	if _, err := d.Batch("x", func(*xmltree.Document, *update.Batch) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batch after close: %v", err)
+	}
+	if _, err := d.Drop("x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drop after close: %v", err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("checkpoint after close: %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 //	magic "XDYN" | version 2 | doc count
 //	docs: name | scheme | row count | rows
 //	trailer: FNV-1a checksum of everything before it
+
 package store
 
 import (
@@ -19,7 +20,7 @@ import (
 )
 
 // versionRepo tags multi-document containers.
-const versionRepo = 2
+const versionRepo = VersionRepo
 
 // ErrDupName reports a container holding two documents with one name.
 var ErrDupName = errors.New("store: duplicate document name")

@@ -1,0 +1,170 @@
+// Checkpoint manifests: the version-3 store record that names the
+// current on-disk generation of a durable repository — which snapshot
+// container and which write-ahead log together hold the committed
+// state. The manifest is the single source of truth at recovery:
+// OpenDurable reads it, loads the named snapshot, replays the named
+// log, and ignores every other file in the directory (orphans from a
+// checkpoint that crashed before its atomic manifest switch).
+//
+// Layout (same conventions as versions 1 and 2 — LEB128 integers,
+// length-prefixed strings, FNV-1a trailer):
+//
+//	magic "XDYN" | version 3 | generation | snapshot name | wal name
+//	trailer: FNV-1a checksum of everything before it
+//
+// WriteManifest replaces the file atomically: write to a temp file,
+// fsync it, rename over ManifestName, fsync the directory. A crash at
+// any step leaves either the old or the new manifest intact, never a
+// partial one.
+
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"xmldyn/internal/labels"
+)
+
+// versionManifest tags checkpoint manifests.
+const versionManifest = VersionManifest
+
+// ManifestName is the manifest's fixed file name inside a durable
+// repository directory.
+const ManifestName = "MANIFEST"
+
+// Manifest names the current generation of a durable repository.
+type Manifest struct {
+	// Gen is the checkpoint generation, starting at 1 and incremented
+	// by every completed checkpoint.
+	Gen uint64
+	// Snapshot is the version-2 container file holding the state as of
+	// the last checkpoint; empty for a repository that has never been
+	// checkpointed (recovery starts from an empty repository).
+	Snapshot string
+	// WAL is the write-ahead log file holding every batch committed
+	// since that snapshot.
+	WAL string
+}
+
+// MarshalManifest encodes a manifest.
+func MarshalManifest(m Manifest) []byte {
+	var out []byte
+	out = append(out, magic...)
+	out = append(out, versionManifest)
+	out = append(out, labels.EncodeLEB128(m.Gen)...)
+	out = appendString(out, m.Snapshot)
+	out = appendString(out, m.WAL)
+	h := fnv.New64a()
+	_, _ = h.Write(out)
+	return append(out, labels.EncodeLEB128(h.Sum64())...)
+}
+
+// UnmarshalManifest decodes a manifest, verifying the checksum.
+func UnmarshalManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if len(data) < len(magic)+1 {
+		return m, ErrBadMagic
+	}
+	if string(data[:len(magic)]) != magic {
+		return m, ErrBadMagic
+	}
+	if data[len(magic)] != versionManifest {
+		return m, fmt.Errorf("%w: %d", ErrBadVersion, data[len(magic)])
+	}
+	pos := len(magic) + 1
+	gen, n, err := labels.DecodeLEB128(data[pos:])
+	if err != nil {
+		return m, fmt.Errorf("%w: generation: %v", ErrCorrupt, err)
+	}
+	m.Gen = gen
+	pos += n
+	if m.Snapshot, pos, err = readString(data, pos); err != nil {
+		return m, err
+	}
+	if m.WAL, pos, err = readString(data, pos); err != nil {
+		return m, err
+	}
+	want, n, err := labels.DecodeLEB128(data[pos:])
+	if err != nil {
+		return m, fmt.Errorf("%w: trailer: %v", ErrCorrupt, err)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(data[:pos])
+	if h.Sum64() != want {
+		return m, ErrBadChecksum
+	}
+	if pos+n != len(data) {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos-n)
+	}
+	return m, nil
+}
+
+// ReadManifest loads the manifest of a durable repository directory.
+// A missing file surfaces as an os.IsNotExist error so callers can
+// distinguish "fresh directory" from corruption.
+func ReadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return Manifest{}, err
+	}
+	return UnmarshalManifest(data)
+}
+
+// WriteManifest atomically replaces the directory's manifest:
+// temp-file write, fsync, rename, directory fsync.
+func WriteManifest(dir string, m Manifest) error {
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := writeFileSync(tmp, MarshalManifest(m)); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// WriteFileAtomic writes data to path durably via a temp file in the
+// same directory: write, fsync, rename, directory fsync. Used for
+// snapshot containers so a crashed checkpoint never leaves a partial
+// file under the final name.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory, making completed renames and creations
+// inside it durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeFileSync writes data to path and fsyncs the file.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

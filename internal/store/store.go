@@ -30,9 +30,21 @@ var (
 	ErrBadChecksum = errors.New("store: checksum mismatch")
 )
 
+// Format version bytes for the three store record types; docs/
+// DURABILITY.md documents them and the wal golden-constants test keeps
+// doc and code aligned.
+const (
+	// VersionSnapshot tags single-document snapshots.
+	VersionSnapshot = 1
+	// VersionRepo tags multi-document repository containers.
+	VersionRepo = 2
+	// VersionManifest tags durable-repository checkpoint manifests.
+	VersionManifest = 3
+)
+
 const (
 	magic   = "XDYN"
-	version = 1
+	version = VersionSnapshot
 	// minRowBytes is the smallest possible encoded row: a kind byte
 	// plus four empty length-prefixed strings.
 	minRowBytes = 5
@@ -165,22 +177,15 @@ func readRow(data []byte, pos int, i uint64) (encoding.Row, int, error) {
 	return r, pos, nil
 }
 
-func appendString(out []byte, s string) []byte {
-	out = append(out, labels.EncodeLEB128(uint64(len(s)))...)
-	return append(out, s...)
-}
+// appendString and readString delegate to the shared length-prefixed
+// string codec in internal/labels, wrapping decode failures in this
+// package's corruption error.
+func appendString(out []byte, s string) []byte { return labels.AppendString(out, s) }
 
 func readString(data []byte, pos int) (string, int, error) {
-	if pos >= len(data) {
-		return "", 0, fmt.Errorf("%w: truncated string length", ErrCorrupt)
-	}
-	l, n, err := labels.DecodeLEB128(data[pos:])
+	s, next, err := labels.CutString(data, pos)
 	if err != nil {
-		return "", 0, fmt.Errorf("%w: string length: %v", ErrCorrupt, err)
+		return "", 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	pos += n
-	if l > uint64(len(data)-pos) {
-		return "", 0, fmt.Errorf("%w: string of %d bytes exceeds buffer", ErrCorrupt, l)
-	}
-	return string(data[pos : pos+int(l)]), pos + int(l), nil
+	return s, next, nil
 }

@@ -14,6 +14,7 @@
 // earlier op) or the commit verification fails, the structural changes
 // applied so far are rolled back in reverse order and the error is
 // returned.
+
 package update
 
 import (

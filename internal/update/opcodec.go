@@ -1,0 +1,400 @@
+// Binary serialisation of batched ops for the write-ahead log. A
+// committed batch is logged as a replayable program: each op's
+// reference node is addressed by its structural path in the
+// pre-batch tree (the state replay resolves against before calling
+// Apply), names and values are length-prefixed strings, and subtree
+// grafts carry either an inline binary tree or — for the delete-then-
+// regraft idiom that expresses a move — a back-reference to the
+// earlier delete op whose target they re-attach. The full wire grammar
+// is specified in docs/DURABILITY.md; the same LEB128 and string
+// conventions as internal/store apply.
+//
+// Determinism is the load-bearing property: EncodeOps runs against the
+// exact tree state DecodeOps will see at replay (pre-batch, by
+// induction over the log), so paths resolve to the corresponding
+// nodes and Session.Apply replays to the identical post-batch state —
+// labels, order and attributes included.
+
+package update
+
+import (
+	"errors"
+	"fmt"
+
+	"xmldyn/internal/labels"
+	"xmldyn/internal/xmltree"
+)
+
+// Subtree source tags inside an encoded op (docs/DURABILITY.md).
+const (
+	// SubtreeInline marks a subtree op carrying its tree inline.
+	SubtreeInline byte = 0
+	// SubtreeBackref marks a subtree op re-grafting the target of an
+	// earlier OpDelete in the same batch (a batched move).
+	SubtreeBackref byte = 1
+)
+
+// Codec errors.
+var (
+	ErrCodecCorrupt = errors.New("update: op record corrupted")
+	// ErrUnresolvable reports an op whose reference path does not
+	// resolve in the document replay is applying to — the log and the
+	// recovered tree have diverged.
+	ErrUnresolvable = errors.New("update: op path does not resolve")
+	// ErrNotLogged reports an op that cannot be serialised: its
+	// reference is not attached to the session's document, or a subtree
+	// root is attached without a matching earlier delete.
+	ErrNotLogged = errors.New("update: op not serialisable")
+)
+
+// EncodeOps serialises a batch against the document's current
+// (pre-apply) state. Call it before Session.Apply: paths are computed
+// from the tree as it stands, which is the state a replaying decoder
+// reconstructs before resolving them.
+func EncodeOps(doc *xmltree.Document, ops []Op) ([]byte, error) {
+	out := labels.EncodeLEB128(uint64(len(ops)))
+	// Delete targets seen so far, for encoding moves as back-refs.
+	deleted := make(map[*xmltree.Node]int)
+	for i := range ops {
+		op := &ops[i]
+		if op.Ref == nil {
+			return nil, fmt.Errorf("%w: op %d (%v): nil ref", ErrNotLogged, i, op.Kind)
+		}
+		out = append(out, byte(op.Kind))
+		path, err := nodePath(doc, op.Ref)
+		if err != nil {
+			return nil, fmt.Errorf("%w: op %d (%v): %v", ErrNotLogged, i, op.Kind, err)
+		}
+		out = appendPath(out, path)
+		switch op.Kind {
+		case OpInsertBefore, OpInsertAfter, OpInsertFirstChild, OpAppendChild, OpRename:
+			out = appendCodecString(out, op.Name)
+		case OpSetText:
+			out = appendCodecString(out, op.Value)
+		case OpSetAttr:
+			out = appendCodecString(out, op.Name)
+			out = appendCodecString(out, op.Value)
+		case OpDelete:
+			deleted[op.Ref] = i
+		case OpInsertSubtreeBefore, OpInsertSubtreeAfter, OpInsertSubtreeFirst, OpAppendSubtree:
+			if op.Subtree == nil {
+				return nil, fmt.Errorf("%w: op %d (%v): %v", ErrNotLogged, i, op.Kind, ErrNoTree)
+			}
+			if j, moved := deleted[op.Subtree]; moved {
+				out = append(out, SubtreeBackref)
+				out = append(out, labels.EncodeLEB128(uint64(j))...)
+				break
+			}
+			if op.Subtree.Parent() != nil {
+				return nil, fmt.Errorf("%w: op %d (%v): attached subtree is not an earlier delete target", ErrNotLogged, i, op.Kind)
+			}
+			out = append(out, SubtreeInline)
+			out = appendTree(out, op.Subtree)
+		default:
+			return nil, fmt.Errorf("%w: op %d: kind %d", ErrNotLogged, i, int(op.Kind))
+		}
+	}
+	return out, nil
+}
+
+// DecodeOps rebuilds a batch from its wire form, resolving reference
+// paths against doc's current (pre-apply) state. The returned ops are
+// ready for Session.Apply.
+func DecodeOps(doc *xmltree.Document, data []byte) ([]Op, error) {
+	count, pos, err := labels.DecodeLEB128(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: op count: %v", ErrCodecCorrupt, err)
+	}
+	// Each op costs at least a kind byte and an empty path.
+	if count > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: implausible op count %d", ErrCodecCorrupt, count)
+	}
+	ops := make([]Op, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("%w: truncated at op %d", ErrCodecCorrupt, i)
+		}
+		op := Op{Kind: OpKind(data[pos])}
+		pos++
+		var path []uint64
+		if path, pos, err = readPath(data, pos); err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		if op.Ref, err = resolvePath(doc, path); err != nil {
+			return nil, fmt.Errorf("op %d (%v): %w", i, op.Kind, err)
+		}
+		switch op.Kind {
+		case OpInsertBefore, OpInsertAfter, OpInsertFirstChild, OpAppendChild, OpRename:
+			if op.Name, pos, err = readCodecString(data, pos); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case OpSetText:
+			if op.Value, pos, err = readCodecString(data, pos); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case OpSetAttr:
+			if op.Name, pos, err = readCodecString(data, pos); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			if op.Value, pos, err = readCodecString(data, pos); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case OpDelete:
+			// Path only.
+		case OpInsertSubtreeBefore, OpInsertSubtreeAfter, OpInsertSubtreeFirst, OpAppendSubtree:
+			if pos >= len(data) {
+				return nil, fmt.Errorf("%w: op %d subtree tag", ErrCodecCorrupt, i)
+			}
+			tag := data[pos]
+			pos++
+			switch tag {
+			case SubtreeBackref:
+				j, n, err := labels.DecodeLEB128(data[pos:])
+				if err != nil {
+					return nil, fmt.Errorf("%w: op %d backref: %v", ErrCodecCorrupt, i, err)
+				}
+				pos += n
+				if j >= i || ops[j].Kind != OpDelete {
+					return nil, fmt.Errorf("%w: op %d backref %d is not an earlier delete", ErrCodecCorrupt, i, j)
+				}
+				op.Subtree = ops[j].Ref
+			case SubtreeInline:
+				if op.Subtree, pos, err = readTree(data, pos); err != nil {
+					return nil, fmt.Errorf("op %d: %w", i, err)
+				}
+			default:
+				return nil, fmt.Errorf("%w: op %d subtree tag %d", ErrCodecCorrupt, i, tag)
+			}
+		default:
+			return nil, fmt.Errorf("%w: op %d kind %d", ErrCodecCorrupt, i, int(op.Kind))
+		}
+		ops = append(ops, op)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodecCorrupt, len(data)-pos)
+	}
+	return ops, nil
+}
+
+// --- structural paths --------------------------------------------------------
+
+// nodePath addresses n by the index route from the document node down:
+// one step per level, each step a child (or, only as the final step,
+// attribute) index. The document node itself has the empty path.
+func nodePath(doc *xmltree.Document, n *xmltree.Node) ([]uint64, error) {
+	var rev []uint64
+	for cur := n; cur != doc.Node(); cur = cur.Parent() {
+		if cur.Parent() == nil {
+			return nil, fmt.Errorf("node %q (%v) is not attached to the document", n.Name(), n.Kind())
+		}
+		idx := cur.Index()
+		if idx < 0 {
+			return nil, fmt.Errorf("node %q has inconsistent parent linkage", cur.Name())
+		}
+		step := uint64(idx) << 1
+		if cur.Kind() == xmltree.KindAttribute {
+			step |= 1
+		}
+		rev = append(rev, step)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// resolvePath walks a path down from the document node.
+func resolvePath(doc *xmltree.Document, path []uint64) (*xmltree.Node, error) {
+	cur := doc.Node()
+	for d, step := range path {
+		idx := int(step >> 1)
+		if step&1 == 1 {
+			if d != len(path)-1 {
+				return nil, fmt.Errorf("%w: attribute step %d before the final level", ErrUnresolvable, d)
+			}
+			attrs := cur.Attributes()
+			if idx >= len(attrs) {
+				return nil, fmt.Errorf("%w: attribute index %d of %d at depth %d", ErrUnresolvable, idx, len(attrs), d)
+			}
+			cur = attrs[idx]
+			continue
+		}
+		kids := cur.Children()
+		if idx >= len(kids) {
+			return nil, fmt.Errorf("%w: child index %d of %d at depth %d", ErrUnresolvable, idx, len(kids), d)
+		}
+		cur = kids[idx]
+	}
+	return cur, nil
+}
+
+func appendPath(out []byte, path []uint64) []byte {
+	out = append(out, labels.EncodeLEB128(uint64(len(path)))...)
+	for _, s := range path {
+		out = append(out, labels.EncodeLEB128(s)...)
+	}
+	return out
+}
+
+func readPath(data []byte, pos int) ([]uint64, int, error) {
+	depth, n, err := labels.DecodeLEB128(data[pos:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: path depth: %v", ErrCodecCorrupt, err)
+	}
+	pos += n
+	if depth > uint64(len(data)-pos) {
+		return nil, 0, fmt.Errorf("%w: implausible path depth %d", ErrCodecCorrupt, depth)
+	}
+	path := make([]uint64, depth)
+	for i := range path {
+		s, n, err := labels.DecodeLEB128(data[pos:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: path step %d: %v", ErrCodecCorrupt, i, err)
+		}
+		path[i], pos = s, pos+n
+	}
+	return path, pos, nil
+}
+
+// --- binary trees ------------------------------------------------------------
+
+// EncodeDocTree serialises every top-level child of the document node
+// (the root element plus any document-level comments and processing
+// instructions) in document order. It is the initial-content image a
+// durable repository logs when a document is opened.
+func EncodeDocTree(doc *xmltree.Document) []byte {
+	kids := doc.Node().Children()
+	out := labels.EncodeLEB128(uint64(len(kids)))
+	for _, c := range kids {
+		out = appendTree(out, c)
+	}
+	return out
+}
+
+// DecodeDocTree rebuilds a document from its EncodeDocTree image.
+func DecodeDocTree(data []byte) (*xmltree.Document, error) {
+	count, pos, err := labels.DecodeLEB128(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: doc child count: %v", ErrCodecCorrupt, err)
+	}
+	if count > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: implausible doc child count %d", ErrCodecCorrupt, count)
+	}
+	doc := xmltree.NewDocument()
+	for i := uint64(0); i < count; i++ {
+		var n *xmltree.Node
+		if n, pos, err = readTree(data, pos); err != nil {
+			return nil, fmt.Errorf("doc child %d: %w", i, err)
+		}
+		if err := doc.Node().AppendChild(n); err != nil {
+			return nil, fmt.Errorf("doc child %d: %w", i, err)
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodecCorrupt, len(data)-pos)
+	}
+	return doc, nil
+}
+
+// appendTree serialises the subtree rooted at n: kind, name, value,
+// then attributes and children recursively, in document order. Unlike
+// an XML text round-trip this preserves whitespace-only text nodes and
+// every value byte exactly.
+func appendTree(out []byte, n *xmltree.Node) []byte {
+	out = append(out, byte(n.Kind()))
+	out = appendCodecString(out, n.Name())
+	out = appendCodecString(out, n.Value())
+	attrs := n.Attributes()
+	out = append(out, labels.EncodeLEB128(uint64(len(attrs)))...)
+	for _, a := range attrs {
+		out = appendTree(out, a)
+	}
+	kids := n.Children()
+	out = append(out, labels.EncodeLEB128(uint64(len(kids)))...)
+	for _, c := range kids {
+		out = appendTree(out, c)
+	}
+	return out
+}
+
+// readTree decodes one subtree, validating kinds and attachment rules.
+func readTree(data []byte, pos int) (*xmltree.Node, int, error) {
+	if pos >= len(data) {
+		return nil, 0, fmt.Errorf("%w: truncated tree node", ErrCodecCorrupt)
+	}
+	kind := xmltree.Kind(data[pos])
+	pos++
+	var name, value string
+	var err error
+	if name, pos, err = readCodecString(data, pos); err != nil {
+		return nil, 0, err
+	}
+	if value, pos, err = readCodecString(data, pos); err != nil {
+		return nil, 0, err
+	}
+	var n *xmltree.Node
+	switch kind {
+	case xmltree.KindElement:
+		n = xmltree.NewElement(name)
+	case xmltree.KindAttribute:
+		n = xmltree.NewAttribute(name, value)
+	case xmltree.KindText:
+		n = xmltree.NewText(value)
+	case xmltree.KindComment:
+		n = xmltree.NewComment(value)
+	case xmltree.KindProcInst:
+		n = xmltree.NewProcInst(name, value)
+	default:
+		return nil, 0, fmt.Errorf("%w: tree node kind %d", ErrCodecCorrupt, kind)
+	}
+	nattr, cnt, err := labels.DecodeLEB128(data[pos:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: attr count: %v", ErrCodecCorrupt, err)
+	}
+	pos += cnt
+	if nattr > uint64(len(data)-pos) {
+		return nil, 0, fmt.Errorf("%w: implausible attr count %d", ErrCodecCorrupt, nattr)
+	}
+	for i := uint64(0); i < nattr; i++ {
+		var a *xmltree.Node
+		if a, pos, err = readTree(data, pos); err != nil {
+			return nil, 0, err
+		}
+		if err := n.AppendAttr(a); err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrCodecCorrupt, err)
+		}
+	}
+	nkid, cnt, err := labels.DecodeLEB128(data[pos:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: child count: %v", ErrCodecCorrupt, err)
+	}
+	pos += cnt
+	if nkid > uint64(len(data)-pos) {
+		return nil, 0, fmt.Errorf("%w: implausible child count %d", ErrCodecCorrupt, nkid)
+	}
+	for i := uint64(0); i < nkid; i++ {
+		var c *xmltree.Node
+		if c, pos, err = readTree(data, pos); err != nil {
+			return nil, 0, err
+		}
+		if err := n.AppendChild(c); err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrCodecCorrupt, err)
+		}
+	}
+	return n, pos, nil
+}
+
+// --- shared string helpers ---------------------------------------------------
+
+// appendCodecString and readCodecString delegate to the shared
+// length-prefixed string codec in internal/labels, wrapping decode
+// failures in this package's corruption error.
+func appendCodecString(out []byte, s string) []byte { return labels.AppendString(out, s) }
+
+func readCodecString(data []byte, pos int) (string, int, error) {
+	s, next, err := labels.CutString(data, pos)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: %v", ErrCodecCorrupt, err)
+	}
+	return s, next, nil
+}

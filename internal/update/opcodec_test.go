@@ -1,0 +1,209 @@
+package update
+
+import (
+	"errors"
+	"testing"
+
+	"xmldyn/internal/schemes/qed"
+	"xmldyn/internal/xmltree"
+)
+
+// openPair parses the same text twice and opens a qed session on each,
+// so a batch can be applied live on one and via the codec on the other.
+func openPair(t *testing.T, text string) (*Session, *Session) {
+	t.Helper()
+	mk := func() *Session {
+		doc, err := xmltree.ParseString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(doc, qed.NewPrefix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetAutoVerify(true)
+		return s
+	}
+	return mk(), mk()
+}
+
+// mirror resolves the node at the same structural path in another doc.
+func mirror(t *testing.T, from *xmltree.Document, n *xmltree.Node, to *xmltree.Document) *xmltree.Node {
+	t.Helper()
+	path, err := nodePath(from, n)
+	if err != nil {
+		t.Fatalf("mirror path: %v", err)
+	}
+	m, err := resolvePath(to, path)
+	if err != nil {
+		t.Fatalf("mirror resolve: %v", err)
+	}
+	return m
+}
+
+func TestOpsCodecRoundTripAllKinds(t *testing.T) {
+	const text = `<lib genre="all"><book id="b1"><title>One</title></book><book id="b2"/><junk/></lib>`
+	live, replayed := openPair(t, text)
+
+	root := live.Document().Root()
+	b1 := root.Children()[0]
+	b2 := root.Children()[1]
+	junk := root.Children()[2]
+	sub := xmltree.NewElement("appendix")
+	_, _ = sub.SetAttr("n", "1")
+	_ = sub.AppendChild(xmltree.NewText("notes "))
+	_ = sub.AppendChild(xmltree.NewComment("kept"))
+
+	ops := []Op{
+		InsertBeforeOp(b1, "preface"),
+		InsertAfterOp(b2, "epilogue"),
+		InsertFirstChildOp(b1, "isbn"),
+		AppendChildOp(b2, "year"),
+		AppendSubtreeOp(root, sub),
+		DeleteOp(junk),
+		SetTextOp(b1.Children()[0], "One, revised"),
+		RenameOp(b2, "journal"),
+		SetAttrOp(root, "genre", "fiction"),
+		SetAttrOp(b1, "lang", "en"),
+	}
+
+	data, err := EncodeOps(live.Document(), ops)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	decoded, err := DecodeOps(replayed.Document(), data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, err := live.Apply(ops); err != nil {
+		t.Fatalf("live apply: %v", err)
+	}
+	if _, err := replayed.Apply(decoded); err != nil {
+		t.Fatalf("replayed apply: %v", err)
+	}
+	if got, want := replayed.Document().XML(), live.Document().XML(); got != want {
+		t.Fatalf("replayed tree diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+// A batched move (delete + re-graft of the same node) must encode as a
+// back-reference and replay as a move, not as a copy of stale content.
+func TestOpsCodecMoveBackref(t *testing.T) {
+	const text = `<r><a><x keep="1">v</x></a><b/></r>`
+	live, replayed := openPair(t, text)
+
+	x := live.Document().Root().Children()[0].Children()[0]
+	dest := live.Document().Root().Children()[1]
+	ops := []Op{
+		DeleteOp(x),
+		AppendSubtreeOp(dest, x),
+	}
+	data, err := EncodeOps(live.Document(), ops)
+	if err != nil {
+		t.Fatalf("encode move: %v", err)
+	}
+	decoded, err := DecodeOps(replayed.Document(), data)
+	if err != nil {
+		t.Fatalf("decode move: %v", err)
+	}
+	if decoded[1].Subtree != decoded[0].Ref {
+		t.Fatal("backref did not resolve to the delete target")
+	}
+	if _, err := live.Apply(ops); err != nil {
+		t.Fatalf("live apply: %v", err)
+	}
+	if _, err := replayed.Apply(decoded); err != nil {
+		t.Fatalf("replayed apply: %v", err)
+	}
+	if got, want := replayed.Document().XML(), live.Document().XML(); got != want {
+		t.Fatalf("moved tree diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+// Whitespace-only text nodes must survive the binary tree codec — an
+// XML text round-trip would drop them.
+func TestDocTreeCodecPreservesWhitespaceAndPIs(t *testing.T) {
+	doc := xmltree.NewDocument()
+	_ = doc.Node().AppendChild(xmltree.NewComment("header"))
+	root := xmltree.NewElement("r")
+	_ = doc.Node().AppendChild(root)
+	_ = doc.Node().AppendChild(xmltree.NewProcInst("style", "x=1"))
+	_, _ = root.SetAttr("a", "line1\nline2")
+	_ = root.AppendChild(xmltree.NewText("  "))
+	_ = root.AppendChild(xmltree.NewElement("e"))
+	_ = root.AppendChild(xmltree.NewText("tail"))
+
+	out, err := DecodeDocTree(EncodeDocTree(doc))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.NodeCount() != doc.NodeCount() {
+		t.Fatalf("node count %d, want %d", out.NodeCount(), doc.NodeCount())
+	}
+	kids := out.Root().Children()
+	if len(kids) != 3 || kids[0].Value() != "  " || kids[2].Value() != "tail" {
+		t.Fatalf("whitespace text not preserved: %v", kids)
+	}
+	if v, ok := out.Root().Attr("a"); !ok || v != "line1\nline2" {
+		t.Fatalf("attr value not preserved: %q", v)
+	}
+	if out.Node().Children()[2].Kind() != xmltree.KindProcInst {
+		t.Fatal("document-level PI not preserved")
+	}
+}
+
+func TestEncodeOpsRejectsUnloggable(t *testing.T) {
+	live, _ := openPair(t, "<r><a/></r>")
+	detached := xmltree.NewElement("ghost")
+	if _, err := EncodeOps(live.Document(), []Op{DeleteOp(detached)}); !errors.Is(err, ErrNotLogged) {
+		t.Fatalf("detached ref: %v, want ErrNotLogged", err)
+	}
+	attached := live.Document().Root().Children()[0]
+	if _, err := EncodeOps(live.Document(), []Op{AppendSubtreeOp(live.Document().Root(), attached)}); !errors.Is(err, ErrNotLogged) {
+		t.Fatalf("attached subtree without delete: %v, want ErrNotLogged", err)
+	}
+}
+
+func TestDecodeOpsRejectsCorruption(t *testing.T) {
+	live, replayed := openPair(t, "<r><a/></r>")
+	a := live.Document().Root().Children()[0]
+	data, err := EncodeOps(live.Document(), []Op{InsertAfterOp(a, "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every prefix must error, never panic or misread.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeOps(replayed.Document(), data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	// A path into a node the tree does not have must not resolve.
+	deep, err := EncodeOps(live.Document(), []Op{InsertAfterOp(a, "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, _ := xmltree.ParseString("<r/>")
+	if _, err := DecodeOps(empty, deep); !errors.Is(err, ErrUnresolvable) {
+		t.Fatalf("dangling path: %v, want ErrUnresolvable", err)
+	}
+}
+
+// mirror is exercised here to pin the path codec itself: every node of
+// a non-trivial tree must round-trip through nodePath/resolvePath.
+func TestStructuralPathsRoundTripEveryNode(t *testing.T) {
+	live, replayed := openPair(t, `<r a="1" b="2"><x><y z="3">t</y><!--c--></x><w/></r>`)
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		m := mirror(t, live.Document(), n, replayed.Document())
+		if m.Kind() != n.Kind() || m.Name() != n.Name() || m.Value() != n.Value() {
+			t.Fatalf("path mismatch: %v %q vs %v %q", n.Kind(), n.Name(), m.Kind(), m.Name())
+		}
+		for _, a := range n.Attributes() {
+			walk(a)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(live.Document().Node())
+}

@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ReplayInfo summarises a Replay pass.
+type ReplayInfo struct {
+	// Records is the number of valid records handed to the callback.
+	Records int
+	// ValidSize is the byte offset just past the last valid record —
+	// the size OpenAt should truncate to before appending.
+	ValidSize int64
+	// Torn reports whether bytes past ValidSize were discarded (a
+	// truncated or CRC-failing tail, the signature of a crash
+	// mid-append).
+	Torn bool
+}
+
+// Replay streams every valid record of the WAL at path through fn in
+// append order, reading one frame at a time — recovery memory stays
+// O(largest record), not O(log size). A truncated or corrupt tail is
+// not an error: replay stops cleanly at the last record whose frame
+// and CRC check out and reports the cut in the returned info. A
+// missing or misheadered file, or an fn error, aborts with that error
+// (fn errors abort because a record that cannot be applied means
+// recovered state would silently diverge from the log). The payload
+// slice is reused between records: fn must not retain it after
+// returning (decode copies what it keeps).
+func Replay(path string, fn func(payload []byte) error) (ReplayInfo, error) {
+	info := ReplayInfo{}
+	f, err := os.Open(path)
+	if err != nil {
+		return info, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	header := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return info, ErrShortHeader
+	}
+	if string(header[:len(Magic)]) != Magic {
+		return info, fmt.Errorf("%w: magic %q", ErrBadHeader, header[:len(Magic)])
+	}
+	if header[len(Magic)] != Version {
+		return info, fmt.Errorf("%w: version %d", ErrBadHeader, header[len(Magic)])
+	}
+	info.ValidSize = int64(HeaderSize)
+
+	frame := make([]byte, FrameHeaderSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, frame); err != nil {
+			if errors.Is(err, io.EOF) {
+				return info, nil // clean end
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				info.Torn = true
+				return info, nil
+			}
+			return info, err
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if length > MaxRecordSize {
+			info.Torn = true
+			return info, nil
+		}
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				info.Torn = true
+				return info, nil
+			}
+			return info, err
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			info.Torn = true
+			return info, nil
+		}
+		if err := fn(payload); err != nil {
+			return info, fmt.Errorf("wal: replay record %d: %w", info.Records, err)
+		}
+		info.Records++
+		info.ValidSize += int64(FrameHeaderSize) + int64(length)
+	}
+}

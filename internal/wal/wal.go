@@ -1,0 +1,395 @@
+// Package wal is the repository's write-ahead log: an append-only,
+// CRC-checked, length-prefixed record file that makes committed update
+// batches durable before the next whole-repository snapshot. The
+// package knows nothing about XML or update semantics — records are
+// opaque byte payloads framed and checksummed here; the repository
+// layer (internal/repo) defines what a payload means and internal/
+// update defines how a batch of ops serialises into one.
+//
+// On-disk layout (the full specification, including the payload
+// grammar the repository writes, lives in docs/DURABILITY.md and is
+// kept honest by a golden-constants test):
+//
+//	header:  magic "XWAL" | version byte 1
+//	record:  payload length (uint32 LE) | CRC-32/IEEE of payload (uint32 LE) | payload
+//
+// Records are appended, never rewritten. Replay streams records back
+// in order and stops cleanly at the first frame that is truncated or
+// fails its CRC — a torn tail from a crash mid-append loses only the
+// commit that was being written, never an earlier one. OpenAt then
+// truncates the tail so new appends extend the last valid record.
+//
+// Durability is configurable per log (SyncPolicy): fsync on every
+// append, grouped fsyncs that let concurrent committers share one disk
+// flush, or fully asynchronous fsyncs from a background flusher with a
+// bounded loss window.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// On-disk format constants. docs/DURABILITY.md documents these values;
+// TestDurabilityDocConstants fails if doc and code drift apart.
+const (
+	// Magic opens every WAL file.
+	Magic = "XWAL"
+	// Version is the current WAL format version byte.
+	Version = 1
+	// HeaderSize is the byte length of the file header (magic + version).
+	HeaderSize = len(Magic) + 1
+	// FrameHeaderSize is the byte length of a record frame header
+	// (uint32 payload length + uint32 CRC, both little-endian).
+	FrameHeaderSize = 8
+	// MaxRecordSize bounds a single record payload; a frame claiming
+	// more is treated as corruption.
+	MaxRecordSize = 1 << 30
+)
+
+// DefaultFlushInterval is the async policy's background fsync period —
+// the upper bound on the crash loss window.
+const DefaultFlushInterval = 50 * time.Millisecond
+
+// Errors reported by the log.
+var (
+	ErrClosed      = errors.New("wal: log is closed")
+	ErrBadHeader   = errors.New("wal: bad file header")
+	ErrTooLarge    = errors.New("wal: record exceeds MaxRecordSize")
+	ErrShortHeader = errors.New("wal: file shorter than header")
+)
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+// The fsync policies.
+const (
+	// SyncPerCommit fsyncs inside every Append: a returned Append is
+	// durable. Highest latency, zero loss window.
+	SyncPerCommit SyncPolicy = iota
+	// SyncGrouped batches committers into shared fsyncs: Append blocks
+	// until a flusher fsync covers it, so a returned Append is still
+	// durable, but committers that arrive while an fsync is in flight
+	// share the next one — N concurrent committers pay ~1 fsync between
+	// them instead of N.
+	SyncGrouped
+	// SyncAsync returns from Append after the buffered write; a
+	// background flusher fsyncs every FlushInterval. Lowest latency,
+	// loss window bounded by the interval.
+	SyncAsync
+)
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncPerCommit:
+		return "per-commit"
+	case SyncGrouped:
+		return "grouped"
+	case SyncAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configures a log.
+type Options struct {
+	// Policy is the fsync policy (default SyncPerCommit).
+	Policy SyncPolicy
+	// GroupWindow is an optional pacing pause the grouped flusher
+	// inserts before each shared fsync, trading commit latency for
+	// larger groups. Default none: group size emerges from committers
+	// accumulating while the previous fsync is in flight.
+	GroupWindow time.Duration
+	// FlushInterval overrides DefaultFlushInterval for SyncAsync.
+	FlushInterval time.Duration
+}
+
+func (o Options) flushInterval() time.Duration {
+	if o.FlushInterval > 0 {
+		return o.FlushInterval
+	}
+	return DefaultFlushInterval
+}
+
+// Log is an open write-ahead log positioned for appending. Safe for
+// concurrent use; record order is the order Append calls complete.
+type Log struct {
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	closed bool
+	// err is sticky: once an fsync fails the log refuses further
+	// appends, because an unsynced tail may or may not survive a crash.
+	err error
+
+	// Grouped-sync state: committers wait on the current epoch, the
+	// flusher resolves it after one shared fsync.
+	epoch  *flushEpoch
+	wake   chan struct{}
+	stop   chan struct{}
+	doneWG sync.WaitGroup
+}
+
+// flushEpoch is one group-commit generation: every Append that wrote
+// before the flusher's fsync shares its result.
+type flushEpoch struct {
+	ready chan struct{}
+	err   error
+}
+
+// Create creates (or truncates) a WAL file, writes the header and
+// syncs it. The caller is responsible for making the file reachable
+// (manifest, directory fsync) before relying on it.
+func Create(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := append([]byte(Magic), Version)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newLog(f, int64(HeaderSize), opts), nil
+}
+
+// OpenAt opens an existing WAL file for appending at size — the valid
+// prefix length a Replay reported — truncating any torn tail beyond it.
+func OpenAt(path string, opts Options, size int64) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if size < int64(HeaderSize) {
+		f.Close()
+		return nil, ErrShortHeader
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newLog(f, size, opts), nil
+}
+
+func newLog(f *os.File, size int64, opts Options) *Log {
+	l := &Log{opts: opts, f: f, size: size}
+	switch opts.Policy {
+	case SyncGrouped:
+		l.epoch = &flushEpoch{ready: make(chan struct{})}
+		l.wake = make(chan struct{}, 1)
+		l.stop = make(chan struct{})
+		l.doneWG.Add(1)
+		go l.groupFlusher()
+	case SyncAsync:
+		l.stop = make(chan struct{})
+		l.doneWG.Add(1)
+		go l.asyncFlusher()
+	}
+	return l
+}
+
+// Append frames payload (length + CRC) and appends it, honouring the
+// log's sync policy: it returns once the record is durable under
+// SyncPerCommit and SyncGrouped, or once it is written (not yet
+// synced) under SyncAsync.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecordSize {
+		return ErrTooLarge
+	}
+	frame := make([]byte, FrameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[FrameHeaderSize:], payload)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.err = err
+		l.mu.Unlock()
+		return err
+	}
+	l.size += int64(len(frame))
+
+	switch l.opts.Policy {
+	case SyncPerCommit:
+		err := l.f.Sync()
+		if err != nil {
+			l.err = err
+		}
+		l.mu.Unlock()
+		return err
+	case SyncGrouped:
+		e := l.epoch
+		l.mu.Unlock()
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+		<-e.ready
+		return e.err
+	default: // SyncAsync
+		l.mu.Unlock()
+		return nil
+	}
+}
+
+// Sync forces an fsync of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		return err
+	}
+	return nil
+}
+
+// Size returns the current file size (header plus appended frames).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close stops the flusher, syncs outstanding writes and closes the
+// file. Further appends return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	l.mu.Unlock()
+
+	if l.stop != nil {
+		close(l.stop)
+		l.doneWG.Wait()
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.err == nil {
+		err = l.f.Sync()
+	}
+	// Resolve any committers still parked on the last grouped epoch.
+	if l.epoch != nil {
+		l.epoch.err = err
+		close(l.epoch.ready)
+		l.epoch = nil
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// groupFlusher services SyncGrouped: each wake-up swaps the epoch and
+// resolves the old one with the result of a single shared fsync. The
+// fsync runs outside the log mutex, so committers keep writing (and
+// accumulating into the next epoch) while the disk flush is in flight
+// — that in-flight window is where grouping comes from.
+func (l *Log) groupFlusher() {
+	defer l.doneWG.Done()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-l.wake:
+		}
+		if w := l.opts.GroupWindow; w > 0 {
+			timer := time.NewTimer(w)
+			select {
+			case <-l.stop:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		old := l.epoch
+		l.epoch = &flushEpoch{ready: make(chan struct{})}
+		f := l.f
+		l.mu.Unlock()
+		err := f.Sync()
+		if err != nil {
+			l.mu.Lock()
+			if l.err == nil {
+				l.err = err
+			}
+			l.mu.Unlock()
+		}
+		old.err = err
+		close(old.ready)
+	}
+}
+
+// asyncFlusher services SyncAsync: periodic fsyncs bound the loss
+// window; a sync failure is recorded and poisons later appends.
+func (l *Log) asyncFlusher() {
+	defer l.doneWG.Done()
+	ticker := time.NewTicker(l.opts.flushInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return
+			}
+			f := l.f
+			bad := l.err != nil
+			l.mu.Unlock()
+			if bad {
+				continue
+			}
+			// Sync outside the mutex: appends proceed during the flush.
+			if err := f.Sync(); err != nil {
+				l.mu.Lock()
+				if l.err == nil {
+					l.err = err
+				}
+				l.mu.Unlock()
+			}
+		}
+	}
+}

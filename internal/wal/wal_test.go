@@ -1,0 +1,235 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func replayAll(t *testing.T, path string) ([][]byte, ReplayInfo) {
+	t.Helper()
+	var got [][]byte
+	info, err := Replay(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, info
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncPerCommit, SyncGrouped, SyncAsync} {
+		t.Run(pol.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			l, err := Create(path, Options{Policy: pol, GroupWindow: time.Millisecond, FlushInterval: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want [][]byte
+			for i := 0; i < 20; i++ {
+				p := []byte(fmt.Sprintf("record-%d-%s", i, pol))
+				want = append(want, p)
+				if err := l.Append(p); err != nil {
+					t.Fatalf("append %d: %v", i, err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			got, info := replayAll(t, path)
+			if info.Torn {
+				t.Fatal("unexpected torn tail")
+			}
+			if info.Records != len(want) {
+				t.Fatalf("records = %d, want %d", info.Records, len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+				}
+			}
+			st, _ := os.Stat(path)
+			if st.Size() != info.ValidSize {
+				t.Fatalf("ValidSize %d != file size %d", info.ValidSize, st.Size())
+			}
+		})
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncGrouped, SyncAsync} {
+		t.Run(pol.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			l, err := Create(path, Options{Policy: pol, GroupWindow: time.Millisecond, FlushInterval: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines, per = 8, 25
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := l.Append([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+							t.Errorf("append: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, info := replayAll(t, path)
+			if len(got) != goroutines*per || info.Records != goroutines*per {
+				t.Fatalf("replayed %d records, want %d", len(got), goroutines*per)
+			}
+		})
+	}
+}
+
+// Torn tail: a crash mid-append leaves a partial frame; replay must
+// stop cleanly at the last whole record and OpenAt must truncate the
+// tail so appending resumes at the cut.
+func TestTornTailTruncatedFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("commit-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, _ := os.Stat(path)
+	// Chop into the middle of the last record's payload.
+	if err := os.Truncate(path, whole.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	got, info := replayAll(t, path)
+	if !info.Torn {
+		t.Fatal("expected torn tail")
+	}
+	if len(got) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(got))
+	}
+	// Reopen at the valid size and keep appending.
+	l2, err := OpenAt(path, Options{}, info.ValidSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append([]byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info = replayAll(t, path)
+	if info.Torn || len(got) != 5 {
+		t.Fatalf("after reopen: torn=%v records=%d, want clean 5", info.Torn, len(got))
+	}
+	if string(got[4]) != "after-recovery" {
+		t.Fatalf("last record = %q", got[4])
+	}
+}
+
+// A flipped byte in the last record's payload must fail its CRC and be
+// discarded as a torn tail.
+func TestTornTailCorruptCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("commit-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, info := replayAll(t, path)
+	if !info.Torn || len(got) != 2 {
+		t.Fatalf("torn=%v records=%d, want torn 2", info.Torn, len(got))
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.log")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(empty, func([]byte) error { return nil }); !errors.Is(err, ErrShortHeader) {
+		t.Fatalf("empty file: %v, want ErrShortHeader", err)
+	}
+	bad := filepath.Join(dir, "bad.log")
+	if err := os.WriteFile(bad, []byte("NOPE\x01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(bad, func([]byte) error { return nil }); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("bad magic: %v, want ErrBadHeader", err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Append([]byte("a"))
+	_ = l.Append([]byte("b"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, err = Replay(path, func(p []byte) error {
+		if string(p) == "b" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("replay error = %v, want wrapped boom", err)
+	}
+}

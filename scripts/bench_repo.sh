@@ -5,7 +5,7 @@
 #	sh scripts/bench_repo.sh
 set -e
 out=BENCH_repo.json
-go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent' \
+go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit' \
 	-benchmem -benchtime 1s . |
 	awk '
 	/^goos:/    { goos = $2 }

@@ -20,7 +20,10 @@
 // writers, and batched update transactions (Session.Batch, ApplyBatch)
 // that verify document order once per batch instead of once per op.
 // SaveRepository/RestoreRepository round-trip the whole repository
-// through one checksummed container.
+// through one checksummed container, and NewDurableRepository backs
+// the same layer with a write-ahead log: committed batches survive a
+// crash and replay to the identical state (docs/DURABILITY.md
+// specifies the on-disk format and recovery protocol).
 //
 // Quick start:
 //
@@ -44,6 +47,7 @@ import (
 	"xmldyn/internal/store"
 	"xmldyn/internal/update"
 	"xmldyn/internal/uql"
+	"xmldyn/internal/wal"
 	"xmldyn/internal/workload"
 	"xmldyn/internal/xmltree"
 	"xmldyn/internal/xpath"
@@ -417,4 +421,46 @@ func SaveRepository(r *Repository) ([]byte, error) { return r.Save() }
 // container, reopening every document under its recorded scheme.
 func RestoreRepository(data []byte, opts RepoOptions) (*Repository, error) {
 	return repo.Load(data, opts)
+}
+
+// --- durable repository ------------------------------------------------------
+
+// Durable repository types: the crash-safe layer — a Repository whose
+// commits are write-ahead logged and whose state survives process
+// death (see internal/repo's durable layer and docs/DURABILITY.md for
+// the on-disk format and recovery protocol).
+type (
+	// DurableRepository is a write-ahead-logged repository: every
+	// Open/Drop/Update/Batch is appended to the log before the
+	// document lock is released, Checkpoint folds the log into a
+	// fresh snapshot, and NewDurableRepository replays snapshot + log
+	// back to the exact committed state after a crash.
+	DurableRepository = repo.DurableRepository
+	// DurableOptions configures a durable repository: the inner
+	// repository options plus the WAL fsync policy and flusher timing.
+	DurableOptions = repo.DurableOptions
+	// SyncPolicy selects when committed records reach stable storage.
+	SyncPolicy = wal.SyncPolicy
+)
+
+// WAL fsync policies for DurableOptions.Sync: fsync per commit,
+// grouped fsyncs shared by concurrent committers, or asynchronous
+// background fsyncs with a bounded loss window.
+const (
+	SyncPerCommit = wal.SyncPerCommit
+	SyncGrouped   = wal.SyncGrouped
+	SyncAsync     = wal.SyncAsync
+)
+
+// ErrRepoClosed reports use of a closed durable repository.
+var ErrRepoClosed = repo.ErrClosed
+
+// NewDurableRepository opens (creating if necessary) the durable
+// repository stored in dir, recovering any committed state: it loads
+// the checkpoint snapshot the manifest names, replays the write-ahead
+// log on top — stopping cleanly at a torn tail — and is then ready for
+// logged commits. Call Checkpoint() on the returned repository to fold
+// the log into a fresh snapshot, and Close() before discarding it.
+func NewDurableRepository(dir string, opts DurableOptions) (*DurableRepository, error) {
+	return repo.OpenDurable(dir, opts)
 }
