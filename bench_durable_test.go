@@ -5,6 +5,72 @@ import (
 	"testing"
 )
 
+// BenchmarkRecovery measures crash-recovery (NewDurableRepository)
+// time over a fixed committed history — the C11 claim as a Go
+// benchmark, tracked in BENCH_repo.json. "Unbounded" replays the whole
+// history from one segment (rotation and auto-checkpoint disabled);
+// "AutoCheckpoint" built the same history with 16KiB segments and a
+// 64KiB auto-checkpoint threshold, so recovery replays only the live
+// tail. Both measurement opens disable auto-checkpointing so an
+// iteration cannot compact the directory it is timing.
+func BenchmarkRecovery(b *testing.B) {
+	const commits, batchSize = 1500, 8
+	for _, mode := range []struct {
+		name  string
+		build DurableOptions
+	}{
+		{"Unbounded", DurableOptions{Sync: SyncAsync, SegmentBytes: -1, AutoCheckpointBytes: -1}},
+		{"AutoCheckpoint", DurableOptions{Sync: SyncAsync, SegmentBytes: 16 << 10, AutoCheckpointBytes: 64 << 10}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := b.TempDir()
+			r, err := NewDurableRepository(dir, mode.build)
+			if err != nil {
+				b.Fatal(err)
+			}
+			doc, err := ParseString("<ledger><seed/></ledger>")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Open("ledger", doc, "qed"); err != nil {
+				b.Fatal(err)
+			}
+			for c := 0; c < commits; c++ {
+				_, err := r.Batch("ledger", func(doc *Document, bt *Batch) error {
+					root := doc.Root()
+					for i := 0; i < batchSize; i++ {
+						bt.AppendChild(root, "entry")
+					}
+					if kids := root.Children(); len(kids) > 256 {
+						for i := 0; i < batchSize; i++ {
+							bt.Delete(kids[i])
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+			measure := mode.build
+			measure.AutoCheckpointBytes = -1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec, err := NewDurableRepository(dir, measure)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rec.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDurableCommit measures committed-batch latency through the
 // write-ahead log under each fsync policy (the C10 trade-off as a Go
 // benchmark; BENCH_repo.json tracks it across PRs). Each iteration is

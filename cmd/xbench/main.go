@@ -1,13 +1,15 @@
 // Command xbench runs the experiment suite behind EXPERIMENTS.md: the
 // paper's qualitative claims C1-C8 (DESIGN.md's per-experiment index)
-// plus the C9 batched-transaction measurement and the C10 durable-
-// commit fsync-policy measurement as measured tables.
+// plus the repository-layer measurements — C9 batched transactions,
+// C10 durable-commit fsync policies, and C11 recovery time under WAL
+// segmentation + auto-checkpoint — as measured tables.
 //
 // Usage:
 //
 //	xbench              # run every experiment
 //	xbench -exp C6      # run one experiment
 //	xbench -quick       # smaller workloads
+//	xbench -exp C11 -csv  # machine-readable rows (bench_repo.sh uses this)
 package main
 
 import (
@@ -21,21 +23,23 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (C1-C10); empty runs all")
+	exp := flag.String("exp", "", "experiment id (C1-C11); empty runs all")
 	quick := flag.Bool("quick", false, "smaller workloads")
+	csv := flag.Bool("csv", false, "print tables as CSV (header + rows only)")
 	flag.Parse()
-	if err := run(strings.ToUpper(*exp), *quick); err != nil {
+	if err := run(strings.ToUpper(*exp), *quick, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, quick bool) error {
+func run(exp string, quick, csv bool) error {
 	storms := 60
 	qedOps := 10000
 	growth := []int{10, 100, 1000, 5000}
 	batchOps, batchSize := 2000, 64
 	durCommits, durBatch := 200, 16
+	recHistories, recBatch := []int{250, 1000, 4000}, 8
 	cfg := core.DefaultProbeConfig()
 	if quick {
 		storms = 15
@@ -43,6 +47,7 @@ func run(exp string, quick bool) error {
 		growth = []int{10, 100, 1000}
 		batchOps, batchSize = 400, 32
 		durCommits, durBatch = 40, 8
+		recHistories = []int{100, 400, 1600}
 		cfg.BaseNodes, cfg.StormOps, cfg.SkewedOps, cfg.ZigzagOps, cfg.XPathNodes = 100, 100, 300, 100, 36
 	}
 	runners := []struct {
@@ -62,6 +67,7 @@ func run(exp string, quick bool) error {
 		}},
 		{"C9", func() (experiments.Table, error) { return experiments.C9BatchedUpdates(batchOps, batchSize) }},
 		{"C10", func() (experiments.Table, error) { return experiments.C10CommitLatency(durCommits, durBatch) }},
+		{"C11", func() (experiments.Table, error) { return experiments.C11Recovery(recHistories, recBatch) }},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -72,11 +78,15 @@ func run(exp string, quick bool) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.id, err)
 		}
-		fmt.Println(t)
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (C1-C10)", exp)
+		return fmt.Errorf("unknown experiment %q (C1-C11)", exp)
 	}
 	return nil
 }

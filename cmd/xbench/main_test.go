@@ -4,11 +4,14 @@ import "testing"
 
 func TestRunSingleExperiments(t *testing.T) {
 	for _, exp := range []string{"C2", "C3", "C7"} {
-		if err := run(exp, true); err != nil {
+		if err := run(exp, true, false); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
-	if err := run("C99", true); err == nil {
+	if err := run("C7", true, true); err != nil {
+		t.Fatalf("C7 csv: %v", err)
+	}
+	if err := run("C99", true, false); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -1,12 +1,15 @@
 // Durable demonstrates the crash-safe repository layer: a directory-
 // backed repository whose commits are write-ahead logged (fsync per
 // commit here), surviving an abrupt process death. The demo commits
-// batches, "crashes" by abandoning the repository without Close, and
-// reopens the directory: recovery replays snapshot + log back to the
-// exact committed state, verifying document order as it goes. A
-// checkpoint then folds the log into a fresh snapshot and the cycle
-// repeats on the truncated log. docs/DURABILITY.md specifies the
-// on-disk format this walks over.
+// batches across several small WAL segments (an artificially tiny
+// rotation threshold so segmentation is visible), "crashes" by
+// abandoning the repository without Close, and reopens the directory:
+// recovery replays snapshot + segments back to the exact committed
+// state, verifying document order as it goes. A checkpoint then folds
+// the log into a fresh snapshot, retiring the dead segments, and the
+// cycle repeats on the fresh one. The directory listing is printed at
+// each stage — README.md annotates what you will see.
+// docs/DURABILITY.md specifies the on-disk format this walks over.
 package main
 
 import (
@@ -14,13 +17,48 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
 	"xmldyn"
 )
 
+// listDir prints the repository directory's files with sizes, sorted,
+// so each stage's on-disk shape (manifest, snapshot, wal segments) is
+// visible.
+func listDir(dir, label string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	fmt.Printf("on disk (%s):\n", label)
+	for _, name := range names {
+		info, err := os.Stat(dir + string(os.PathSeparator) + name)
+		if err != nil {
+			continue
+		}
+		kind := ""
+		switch {
+		case name == "MANIFEST":
+			kind = "generation pointer"
+		case strings.HasPrefix(name, "snapshot-"):
+			kind = "checkpoint snapshot"
+		case strings.HasPrefix(name, "wal-"):
+			kind = "wal segment"
+		}
+		fmt.Printf("  %-22s %7d bytes  %s\n", name, info.Size(), kind)
+	}
+}
+
 func main() {
 	dir := flag.String("dir", "", "repository directory (default: a temp dir, removed at exit)")
 	commits := flag.Int("commits", 25, "batches to commit before the simulated crash")
+	segBytes := flag.Int64("segment-bytes", 512, "WAL segment rotation threshold (tiny, to make segments visible)")
 	flag.Parse()
 	if *dir == "" {
 		tmp, err := os.MkdirTemp("", "xmldyn-durable-")
@@ -30,9 +68,13 @@ func main() {
 		defer os.RemoveAll(tmp)
 		*dir = tmp
 	}
+	// Auto-checkpoint is disabled here so the demo's manual Checkpoint
+	// is the only compaction and the segment files stay put for the
+	// crash; production code would usually leave the default threshold.
+	opts := xmldyn.DurableOptions{Sync: xmldyn.SyncPerCommit, SegmentBytes: *segBytes, AutoCheckpointBytes: -1}
 
 	// Phase 1: open, commit, crash (no Close, no Checkpoint).
-	r, err := xmldyn.NewDurableRepository(*dir, xmldyn.DurableOptions{Sync: xmldyn.SyncPerCommit})
+	r, err := xmldyn.NewDurableRepository(*dir, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,12 +97,16 @@ func main() {
 			log.Fatalf("commit %d: %v", i, err)
 		}
 	}
-	fmt.Printf("committed %d batches to %s (log: %d bytes, generation %d)\n",
-		*commits, *dir, r.LogSize(), r.Generation())
+	first, active := r.SegmentRange()
+	fmt.Printf("committed %d batches to %s\n", *commits, *dir)
+	fmt.Printf("live log: %d bytes across segments [%d..%d], generation %d\n",
+		r.LogSize(), first, active, r.Generation())
+	listDir(*dir, "before crash")
 	fmt.Println("simulating crash: abandoning the repository without Close")
 
-	// Phase 2: recover. Every committed batch must be back, in order.
-	recovered, err := xmldyn.NewDurableRepository(*dir, xmldyn.DurableOptions{Sync: xmldyn.SyncPerCommit})
+	// Phase 2: recover. Every committed batch must be back, in order,
+	// replayed across all the segments the crash left behind.
+	recovered, err := xmldyn.NewDurableRepository(*dir, opts)
 	if err != nil {
 		log.Fatalf("recovery: %v", err)
 	}
@@ -78,15 +124,19 @@ func main() {
 	}
 	fmt.Printf("recovered: %d entries (want %d), order verified\n", entries, *commits+1)
 
-	// Phase 3: checkpoint folds the log into a snapshot.
+	// Phase 3: checkpoint folds the log into a snapshot and retires the
+	// dead segments — this is what the auto-checkpointer does in the
+	// background once live bytes pass AutoCheckpointBytes.
 	before := recovered.LogSize()
 	if err := recovered.Checkpoint(); err != nil {
 		log.Fatalf("checkpoint: %v", err)
 	}
-	fmt.Printf("checkpoint: generation %d, log %d -> %d bytes\n",
-		recovered.Generation(), before, recovered.LogSize())
+	f2, a2 := recovered.SegmentRange()
+	fmt.Printf("checkpoint: generation %d, log %d -> %d bytes, live segments now [%d..%d]\n",
+		recovered.Generation(), before, recovered.LogSize(), f2, a2)
+	listDir(*dir, "after checkpoint")
 
-	// Post-checkpoint commits land in the fresh log.
+	// Post-checkpoint commits land in the fresh segment.
 	if _, err := recovered.Batch("ledger", func(doc *xmldyn.Document, b *xmldyn.Batch) error {
 		b.AppendChild(doc.Root(), "post-checkpoint")
 		return nil

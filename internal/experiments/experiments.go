@@ -84,6 +84,21 @@ func (t Table) String() string {
 	return sb.String()
 }
 
+// CSV renders just the header and rows, comma-separated — the
+// machine-readable form scripts (scripts/bench_repo.sh) parse when
+// folding experiment numbers into BENCH_repo.json. Cells never contain
+// commas, so no quoting is needed.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Headers, ","))
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		sb.WriteString(strings.Join(r, ","))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
 // C1GapExhaustion measures how many skewed insertions integer gaps and
 // float midpoints absorb before the first relabelling: the §3.1.1 claim
 // that gap and real-number extensions "only postpone the relabelling

@@ -1,0 +1,124 @@
+// C11: recovery time against history length, before and after WAL
+// segmentation. The durable repository replays its write-ahead log at
+// open; with one unbounded log, recovery cost grows with the total
+// committed history, while segment rotation plus the size-triggered
+// auto-checkpoint keep the live log — and with it recovery time —
+// bounded no matter how much history the repository has absorbed. This
+// experiment measures exactly that: build histories of increasing
+// length under both configurations, "crash", and time OpenDurable.
+
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"xmldyn/internal/repo"
+	"xmldyn/internal/update"
+	"xmldyn/internal/wal"
+	"xmldyn/internal/xmltree"
+)
+
+// C11Recovery commits each history length in `histories` (batches of
+// `batchSize` appends, trimmed so the tree stays small and the numbers
+// isolate replay cost) against two durable configurations — one
+// unbounded log with auto-checkpoint disabled, and the segmented log
+// with a small rotation threshold and auto-checkpoint armed — then
+// crashes and measures recovery (OpenDurable) time. Each run uses a
+// fresh temporary directory that is removed afterwards.
+func C11Recovery(histories []int, batchSize int) (Table, error) {
+	t := Table{
+		ID:      "C11",
+		Claim:   "segment rotation + auto-checkpoint bound recovery time as history grows",
+		Headers: []string{"mode", "commits", "live-log-bytes", "segments", "recover-ms"},
+	}
+	modes := []struct {
+		name string
+		opts repo.DurableOptions
+	}{
+		// One ever-growing segment, no auto-checkpoint: the pre-PR-3 shape.
+		{"unbounded", repo.DurableOptions{Sync: wal.SyncAsync, SegmentBytes: -1, AutoCheckpointBytes: -1}},
+		// Segmented with auto-checkpoint: live log bounded by the threshold.
+		{"auto-ckpt", repo.DurableOptions{Sync: wal.SyncAsync, SegmentBytes: 16 << 10, AutoCheckpointBytes: 64 << 10}},
+	}
+	for _, mode := range modes {
+		for _, commits := range histories {
+			row, err := runC11(mode.name, mode.opts, commits, batchSize)
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("each commit is one batch of %d appends (plus trims keeping the tree small)", batchSize),
+		"unbounded: one segment, no auto-checkpoint — recovery replays the full history",
+		"auto-ckpt: 16KiB segments, 64KiB auto-checkpoint — recovery replays only the live tail",
+		"recovery opens with auto-checkpoint disabled so the timings measure pure replay")
+	return t, nil
+}
+
+// runC11 builds one history and times its recovery.
+func runC11(mode string, opts repo.DurableOptions, commits, batchSize int) ([]string, error) {
+	dir, err := os.MkdirTemp("", "xmldyn-c11-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	d, err := repo.OpenDurable(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := xmltree.ParseString("<ledger><seed/></ledger>")
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Open("ledger", doc, "qed"); err != nil {
+		return nil, err
+	}
+	for c := 0; c < commits; c++ {
+		_, err := d.Batch("ledger", func(doc *xmltree.Document, b *update.Batch) error {
+			root := doc.Root()
+			for i := 0; i < batchSize; i++ {
+				b.AppendChild(root, "entry")
+			}
+			if kids := root.Children(); len(kids) > 256 {
+				for i := 0; i < batchSize; i++ {
+					b.Delete(kids[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s commit %d: %w", mode, c, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+
+	// Crash done (Close just syncs; the log is what recovery replays).
+	// Reopen with auto-checkpoint disabled so the timing is pure
+	// recovery, not recovery plus a compaction it happens to trigger.
+	measure := opts
+	measure.AutoCheckpointBytes = -1
+	start := time.Now()
+	recovered, err := repo.OpenDurable(dir, measure)
+	if err != nil {
+		return nil, fmt.Errorf("%s recovery: %w", mode, err)
+	}
+	elapsed := time.Since(start)
+	liveBytes := recovered.LogSize()
+	first, active := recovered.SegmentRange()
+	if err := recovered.Close(); err != nil {
+		return nil, err
+	}
+	return []string{
+		mode,
+		fmt.Sprintf("%d", commits),
+		fmt.Sprintf("%d", liveBytes),
+		fmt.Sprintf("%d", active-first+1),
+		fmt.Sprintf("%.2f", float64(elapsed.Microseconds())/1000),
+	}, nil
+}

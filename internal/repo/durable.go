@@ -1,15 +1,20 @@
 // Durable repositories: the Repository's batched transactions backed
-// by a write-ahead log, so every committed batch survives a crash and
-// OpenDurable replays snapshot + log back to the exact committed state
-// (labels, order and attributes included — replay re-runs the same
-// deterministic op stream the live session ran). docs/DURABILITY.md
-// specifies the on-disk format and recovery protocol in full.
+// by a segmented write-ahead log, so every committed batch survives a
+// crash and OpenDurable replays snapshot + log back to the exact
+// committed state (labels, order and attributes included — replay
+// re-runs the same deterministic op stream the live session ran), with
+// recovery cost bounded by the live log suffix, not the full history:
+// a background auto-checkpoint folds the log into a fresh snapshot
+// whenever live log bytes pass a threshold and retires the dead
+// segments. docs/DURABILITY.md specifies the on-disk format and
+// recovery protocol in full; docs/OPERATIONS.md is the field guide.
 //
-// Directory layout (all names chosen by the checkpoint manifest):
+// Directory layout (the manifest names the snapshot and the first live
+// segment; segment indices are global and never reused):
 //
-//	MANIFEST            store version-3 manifest: generation, snapshot, wal
+//	MANIFEST              store version-4 manifest: generation, snapshot, first live segment
 //	snapshot-NNNNNN.xdyn  version-2 container as of the last checkpoint
-//	wal-NNNNNN.log        batches committed since that snapshot
+//	wal-NNNNNNNN.log      numbered log segments; batches since that snapshot
 //
 // Locking protocol, outermost first (see docs/ARCHITECTURE.md):
 //
@@ -75,6 +80,12 @@ const (
 	RecDrop byte = 3
 )
 
+// DefaultAutoCheckpointBytes is the auto-checkpoint threshold used
+// when DurableOptions.AutoCheckpointBytes is zero: once live log bytes
+// pass it, the background checkpointer folds the log into a fresh
+// snapshot and deletes the dead segments, bounding recovery time.
+const DefaultAutoCheckpointBytes = 16 << 20
+
 // DurableOptions configures OpenDurable.
 type DurableOptions struct {
 	// Repo configures the in-memory repository (shards, auto-verify).
@@ -86,19 +97,40 @@ type DurableOptions struct {
 	// FlushInterval overrides the async policy's background fsync
 	// period (the crash loss window).
 	FlushInterval time.Duration
+	// SegmentBytes is the WAL segment rotation threshold: an append
+	// that would grow the active segment past it seals the segment and
+	// starts a new one. Zero means wal.DefaultSegmentBytes; negative
+	// disables rotation (one ever-growing segment, as before PR 3).
+	SegmentBytes int64
+	// AutoCheckpointBytes arms the background auto-checkpoint: when
+	// live log bytes (across all segments) exceed it, a checkpoint runs
+	// off the commit path, folding the log into a fresh snapshot and
+	// deleting dead segments. Zero means DefaultAutoCheckpointBytes;
+	// negative disables auto-checkpointing (Checkpoint remains
+	// available manually).
+	AutoCheckpointBytes int64
 }
 
 func (o DurableOptions) walOptions() wal.Options {
-	return wal.Options{Policy: o.Sync, GroupWindow: o.GroupWindow, FlushInterval: o.FlushInterval}
+	return wal.Options{Policy: o.Sync, GroupWindow: o.GroupWindow, FlushInterval: o.FlushInterval, SegmentBytes: o.SegmentBytes}
+}
+
+func (o DurableOptions) autoCheckpointBytes() int64 {
+	if o.AutoCheckpointBytes != 0 {
+		return o.AutoCheckpointBytes
+	}
+	return DefaultAutoCheckpointBytes
 }
 
 // DurableRepository is a Repository whose commits are write-ahead
 // logged. Reads (View, Query, QueryFunc, Names, Len, Verify) are
 // served by the in-memory repository exactly as in Repository; every
 // mutation (Open, Drop, Update, Batch) is appended to the log before
-// the per-document write lock is released, and Checkpoint folds the
-// log into a fresh snapshot. A DurableRepository must be owned by one
-// process at a time; there is no cross-process file locking.
+// the per-document write lock is released, and Checkpoint — invoked
+// manually or by the background auto-checkpointer once live log bytes
+// pass the configured threshold — folds the log into a fresh snapshot
+// and deletes the dead segments. A DurableRepository must be owned by
+// one process at a time; there is no cross-process file locking.
 type DurableRepository struct {
 	repo *Repository
 	dir  string
@@ -111,22 +143,36 @@ type DurableRepository struct {
 	// Batch appends do not take it: their order is already fixed by
 	// doc.mu, and holding a lock across a grouped append would
 	// serialise the very commits group fsync exists to overlap.
-	walMu  sync.Mutex
-	log    *wal.Log
-	gen    uint64
-	failed error // sticky ErrWALFailed cause, cleared by Checkpoint
-	closed bool
+	walMu    sync.Mutex
+	log      *wal.Log
+	gen      uint64
+	walFirst uint64 // first live segment index, as the manifest records
+	failed   error  // sticky ErrWALFailed cause, cleared by Checkpoint
+	closed   bool
+
+	// Auto-checkpoint machinery: committers nudge ckptWake when live
+	// log bytes pass the threshold; the loop goroutine runs Checkpoint
+	// off the commit path. Nil channels when auto-checkpoint is off.
+	ckptWake chan struct{}
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
+	autoMu   sync.Mutex
+	autoRuns uint64 // completed auto-checkpoints
+	autoErr  error  // last auto-checkpoint failure, nil after a success
 }
 
 func snapshotFileName(gen uint64) string { return fmt.Sprintf("snapshot-%06d.xdyn", gen) }
-func walFileName(gen uint64) string      { return fmt.Sprintf("wal-%06d.log", gen) }
 
 // OpenDurable opens (creating if necessary) the durable repository in
 // dir: it reads the manifest, loads the snapshot it names, replays the
-// log it names — stopping cleanly at a torn tail — and truncates the
-// tail so new commits extend the last valid record. Files the manifest
-// does not name (orphans of a checkpoint that crashed before its
-// manifest switch) are removed.
+// live WAL segments in index order from the manifest's first live
+// segment — tolerating a torn tail only on the last — and truncates
+// that tail so new commits extend the last valid record. Files the
+// manifest does not cover (snapshots it does not name, segments below
+// the first live index: orphans of a checkpoint that crashed around
+// its manifest switch) are removed. If auto-checkpointing is enabled
+// (it is by default; see DurableOptions.AutoCheckpointBytes) the
+// background checkpointer is started before OpenDurable returns.
 func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -149,40 +195,45 @@ func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
 			return nil, fmt.Errorf("%w: snapshot: %v", ErrReplay, err)
 		}
 	}
-	d := &DurableRepository{repo: r, dir: dir, opts: opts, gen: man.Gen}
-	walPath := filepath.Join(dir, man.WAL)
-	info, err := wal.Replay(walPath, d.applyRecord)
+	d := &DurableRepository{repo: r, dir: dir, opts: opts, gen: man.Gen, walFirst: man.WALFirst}
+	info, err := wal.Replay(dir, man.WALFirst, d.applyRecord)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrReplay, err)
 	}
-	if d.log, err = wal.OpenAt(walPath, opts.walOptions(), info.ValidSize); err != nil {
+	if d.log, err = wal.OpenAt(dir, info, opts.walOptions()); err != nil {
 		return nil, fmt.Errorf("%w: reopen log: %v", ErrReplay, err)
 	}
 	d.removeOrphans(man)
+	d.startAutoCheckpoint()
 	return d, nil
 }
 
 // bootstrapDurable initialises a fresh directory: generation 1, no
-// snapshot, an empty log, then the manifest that makes them current.
-// A crash before the manifest write leaves no manifest, so the next
-// OpenDurable simply bootstraps again.
+// snapshot, an empty log starting at segment 1, then the manifest that
+// makes them current. A crash before the manifest write leaves no
+// manifest, so the next OpenDurable simply bootstraps again.
 func bootstrapDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
-	gen := uint64(1)
-	walName := walFileName(gen)
-	log, err := wal.Create(filepath.Join(dir, walName), opts.walOptions())
+	gen, first := uint64(1), uint64(1)
+	log, err := wal.Create(dir, first, opts.walOptions())
 	if err != nil {
 		return nil, err
 	}
-	if err := store.WriteManifest(dir, store.Manifest{Gen: gen, Snapshot: "", WAL: walName}); err != nil {
+	if err := store.WriteManifest(dir, store.Manifest{Gen: gen, Snapshot: "", WALFirst: first}); err != nil {
 		log.Close()
 		return nil, err
 	}
-	return &DurableRepository{repo: New(opts.Repo), dir: dir, opts: opts, log: log, gen: gen}, nil
+	d := &DurableRepository{repo: New(opts.Repo), dir: dir, opts: opts, log: log, gen: gen, walFirst: first}
+	d.startAutoCheckpoint()
+	return d, nil
 }
 
-// removeOrphans deletes generation files the manifest does not name —
-// leftovers of a checkpoint that crashed before or after its manifest
-// switch — plus stray atomic-write temp files.
+// removeOrphans deletes files the manifest does not cover — snapshots
+// it does not name and segments below the first live index, leftovers
+// of a checkpoint that crashed before or after its manifest switch —
+// plus stray atomic-write temp files. Segments at or above the first
+// live index are the live set (including an empty one a crashed
+// checkpoint or rotation created: it is contiguous with the set and
+// simply becomes the append tail).
 func (d *DurableRepository) removeOrphans(man store.Manifest) {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
@@ -190,14 +241,75 @@ func (d *DurableRepository) removeOrphans(man store.Manifest) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if name == store.ManifestName || name == man.Snapshot || name == man.WAL {
+		if name == store.ManifestName || name == man.Snapshot {
+			continue
+		}
+		if idx, ok := wal.ParseSegmentName(name); ok {
+			if idx < man.WALFirst {
+				_ = os.Remove(filepath.Join(d.dir, name))
+			}
 			continue
 		}
 		if strings.HasSuffix(name, ".tmp") ||
-			(strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".xdyn")) ||
-			(strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log")) {
+			(strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".xdyn")) {
 			_ = os.Remove(filepath.Join(d.dir, name))
 		}
+	}
+}
+
+// startAutoCheckpoint launches the background checkpointer when the
+// options arm it. Committers nudge it after appends; it re-checks the
+// threshold and runs Checkpoint off the commit path.
+func (d *DurableRepository) startAutoCheckpoint() {
+	if d.opts.autoCheckpointBytes() <= 0 {
+		return
+	}
+	d.ckptWake = make(chan struct{}, 1)
+	d.ckptStop = make(chan struct{})
+	d.ckptWG.Add(1)
+	go d.autoCheckpointLoop()
+}
+
+// autoCheckpointLoop services ckptWake nudges: each one re-checks the
+// live-bytes threshold (commits may have raced a manual checkpoint)
+// and, if still exceeded, checkpoints. Failures are recorded for
+// AutoCheckpoints and retried on the next nudge; a closed repository
+// ends the loop via ckptStop.
+func (d *DurableRepository) autoCheckpointLoop() {
+	defer d.ckptWG.Done()
+	threshold := d.opts.autoCheckpointBytes()
+	for {
+		select {
+		case <-d.ckptStop:
+			return
+		case <-d.ckptWake:
+		}
+		if d.LogSize() < threshold {
+			continue
+		}
+		err := d.Checkpoint()
+		d.autoMu.Lock()
+		switch {
+		case err == nil:
+			d.autoRuns++
+			d.autoErr = nil
+		case !errors.Is(err, ErrClosed):
+			d.autoErr = err
+		}
+		d.autoMu.Unlock()
+	}
+}
+
+// nudgeAutoCheckpoint wakes the checkpointer if live log bytes passed
+// the threshold. Called by committers after a successful append, under
+// commitMu's read side (so d.log is stable); the send never blocks.
+func (d *DurableRepository) nudgeAutoCheckpoint() {
+	if d.ckptWake == nil || d.log.LiveBytes() < d.opts.autoCheckpointBytes() {
+		return
+	}
+	select {
+	case d.ckptWake <- struct{}{}:
+	default:
 	}
 }
 
@@ -284,6 +396,7 @@ func (d *DurableRepository) Open(name string, doc *xmltree.Document, scheme stri
 		return d.poison(err)
 	}
 	_, err = d.repo.add(name, scheme, sess)
+	d.nudgeAutoCheckpoint()
 	return err
 }
 
@@ -314,6 +427,7 @@ func (d *DurableRepository) Drop(name string) (bool, error) {
 	if err := d.log.Append(appendRecordString([]byte{RecDrop}, name)); err != nil {
 		return false, d.poison(err)
 	}
+	d.nudgeAutoCheckpoint()
 	return d.repo.Drop(name), nil
 }
 
@@ -376,6 +490,7 @@ func (d *DurableRepository) Batch(name string, build func(*xmltree.Document, *up
 		// repository so the divergence cannot widen silently.
 		return nil, d.poisonLocked(aerr)
 	}
+	d.nudgeAutoCheckpoint()
 	out := &update.BatchResult{New: make([]*xmltree.Node, len(res.New))}
 	for i, n := range res.New {
 		if n != nil {
@@ -482,28 +597,55 @@ func (d *DurableRepository) Generation() uint64 {
 	return d.gen
 }
 
-// LogSize returns the current WAL file size in bytes — a checkpoint
-// trigger signal for callers that checkpoint by log growth.
+// LogSize returns the live write-ahead-log bytes across every segment
+// — the recovery-cost signal the auto-checkpointer watches, also
+// available to callers that checkpoint manually by log growth.
 func (d *DurableRepository) LogSize() int64 {
 	d.commitMu.RLock()
 	defer d.commitMu.RUnlock()
 	if d.closed {
 		return 0
 	}
-	return d.log.Size()
+	return d.log.LiveBytes()
+}
+
+// SegmentRange returns the first live and the active (append) WAL
+// segment indices; the live set is every segment in between,
+// inclusive. First advances at checkpoints, active at rotations.
+func (d *DurableRepository) SegmentRange() (first, active uint64) {
+	d.commitMu.RLock()
+	defer d.commitMu.RUnlock()
+	if d.closed {
+		return d.walFirst, d.walFirst
+	}
+	return d.walFirst, d.log.ActiveIndex()
+}
+
+// AutoCheckpoints reports how many background checkpoints have
+// completed and the most recent auto-checkpoint failure (nil after any
+// subsequent success). Failures do not stop the checkpointer; it
+// retries on the next commit that crosses the threshold.
+func (d *DurableRepository) AutoCheckpoints() (uint64, error) {
+	d.autoMu.Lock()
+	defer d.autoMu.Unlock()
+	return d.autoRuns, d.autoErr
 }
 
 // --- checkpoint and close ----------------------------------------------------
 
 // Checkpoint folds the log into a fresh snapshot: it excludes all
-// writers, saves the whole repository into a new version-2 container,
-// starts a new empty log, switches the manifest to the new generation
-// atomically, and deletes the old generation's files. A crash at any
-// step recovers to a consistent state — before the manifest switch the
-// old snapshot+log pair is replayed and the new generation's files are
-// removed as orphans; after it, the new pair is current. Checkpoint
-// also clears a WAL append failure: the new snapshot re-captures the
-// full in-memory state, so nothing the failed log lost is missing.
+// writers, syncs the old log's tail, saves the whole repository into a
+// new version-2 container, starts a fresh segment with the next index,
+// switches the manifest to the new generation atomically (recording
+// that segment as the first live one), and deletes the dead segments
+// and the old snapshot. A crash at any step recovers to a consistent
+// state — before the manifest switch the old snapshot is loaded and
+// the old segment range replayed (the fresh segment, if it was
+// created, is just an empty tail of that range); after the switch, the
+// new pair is current and everything below the new first segment is an
+// orphan. Checkpoint also clears a WAL append failure: the new
+// snapshot re-captures the full in-memory state, so nothing the failed
+// log lost is missing.
 func (d *DurableRepository) Checkpoint() error {
 	d.commitMu.Lock()
 	defer d.commitMu.Unlock()
@@ -514,44 +656,61 @@ func (d *DurableRepository) Checkpoint() error {
 	if err != nil {
 		return err
 	}
+	// Sync the old tail: under SyncAsync the last commits may still be
+	// unsynced, and sealing them here keeps the common recovery path
+	// simple. Proceeding on failure (a poisoned log refuses the sync)
+	// is still safe: a crash before the manifest switch then leaves a
+	// torn old segment followed only by the fresh record-free one,
+	// the one mid-set shape replay explicitly tolerates — the tear
+	// cuts a clean, never-acknowledged suffix — and the switch itself
+	// makes the old segments dead. This is also what lets Checkpoint
+	// remain the documented recovery from ErrWALFailed.
+	_ = d.log.Sync()
 	newGen := d.gen + 1
+	newFirst := d.log.ActiveIndex() + 1
 	snapName := snapshotFileName(newGen)
 	if err := store.WriteFileAtomic(filepath.Join(d.dir, snapName), data); err != nil {
 		return err
 	}
-	walName := walFileName(newGen)
-	newLog, err := wal.Create(filepath.Join(d.dir, walName), d.opts.walOptions())
+	newLog, err := wal.Create(d.dir, newFirst, d.opts.walOptions())
 	if err != nil {
 		return err
 	}
-	if err := store.SyncDir(d.dir); err != nil {
-		newLog.Close()
-		return err
-	}
-	if err := store.WriteManifest(d.dir, store.Manifest{Gen: newGen, Snapshot: snapName, WAL: walName}); err != nil {
+	if err := store.WriteManifest(d.dir, store.Manifest{Gen: newGen, Snapshot: snapName, WALFirst: newFirst}); err != nil {
 		newLog.Close()
 		return err
 	}
 	// The new generation is current: retire the old one. Close errors
 	// on a poisoned log are expected and must not fail the checkpoint.
-	oldLog, oldGen := d.log, d.gen
-	d.log, d.gen, d.failed = newLog, newGen, nil
+	oldLog, oldGen, oldFirst := d.log, d.gen, d.walFirst
+	d.log, d.gen, d.walFirst, d.failed = newLog, newGen, newFirst, nil
 	_ = oldLog.Close()
-	_ = os.Remove(filepath.Join(d.dir, walFileName(oldGen)))
+	for idx := oldFirst; idx < newFirst; idx++ {
+		_ = os.Remove(filepath.Join(d.dir, wal.SegmentName(idx)))
+	}
 	_ = os.Remove(filepath.Join(d.dir, snapshotFileName(oldGen)))
 	return nil
 }
 
-// Close syncs and closes the log. The repository refuses all further
-// operations; reopen with OpenDurable.
+// Close stops the auto-checkpointer, syncs and closes the log. The
+// repository refuses all further operations; reopen with OpenDurable.
 func (d *DurableRepository) Close() error {
 	d.commitMu.Lock()
-	defer d.commitMu.Unlock()
 	if d.closed {
+		d.commitMu.Unlock()
 		return nil
 	}
 	d.closed = true
-	return d.log.Close()
+	err := d.log.Close()
+	// Stop the checkpointer outside commitMu: it may be blocked inside
+	// Checkpoint waiting for the lock, and will see closed once it gets
+	// it.
+	d.commitMu.Unlock()
+	if d.ckptStop != nil {
+		close(d.ckptStop)
+		d.ckptWG.Wait()
+	}
+	return err
 }
 
 // newSchemeSession builds a session for doc under a registry scheme

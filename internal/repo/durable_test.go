@@ -160,7 +160,7 @@ func TestRecoveryStopsAtTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	walPath := filepath.Join(dir, man.WAL)
+	walPath := filepath.Join(dir, wal.SegmentName(man.WALFirst))
 	st, err := os.Stat(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -208,8 +208,11 @@ func TestCheckpointTruncatesLogAndSurvivesReopen(t *testing.T) {
 	if size := d.LogSize(); size >= grownLog || size != int64(wal.HeaderSize) {
 		t.Fatalf("log size after checkpoint = %d, want bare header %d", size, wal.HeaderSize)
 	}
-	if _, err := os.Stat(filepath.Join(dir, walFileName(1))); !os.IsNotExist(err) {
-		t.Fatalf("old wal still present: %v", err)
+	if _, err := os.Stat(filepath.Join(dir, wal.SegmentName(1))); !os.IsNotExist(err) {
+		t.Fatalf("old wal segment still present: %v", err)
+	}
+	if first, active := d.SegmentRange(); first != 2 || active != 2 {
+		t.Fatalf("segment range = [%d..%d], want [2..2]", first, active)
 	}
 	// Post-checkpoint commits land in the new log.
 	if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
@@ -250,8 +253,8 @@ func TestKillDuringCheckpoint(t *testing.T) {
 	want := docTable(t, d, "books")
 
 	// Simulate the crash window: write the next generation's snapshot
-	// and empty wal exactly as Checkpoint does, then "crash" before the
-	// manifest switch.
+	// and create the fresh segment exactly as Checkpoint does, then
+	// "crash" before the manifest switch.
 	data, err := d.repo.Save()
 	if err != nil {
 		t.Fatal(err)
@@ -259,11 +262,11 @@ func TestKillDuringCheckpoint(t *testing.T) {
 	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(2)), data); err != nil {
 		t.Fatal(err)
 	}
-	orphanLog, err := wal.Create(filepath.Join(dir, walFileName(2)), wal.Options{})
+	freshLog, err := wal.Create(dir, 2, wal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = orphanLog.Close()
+	_ = freshLog.Close()
 	// Also leave a torn snapshot temp file, as an interrupted atomic
 	// write would.
 	if err := os.WriteFile(filepath.Join(dir, snapshotFileName(3)+".tmp"), data[:10], 0o644); err != nil {
@@ -280,10 +283,15 @@ func TestKillDuringCheckpoint(t *testing.T) {
 	if got := docTable(t, recovered, "books"); !reflect.DeepEqual(got, want) {
 		t.Fatalf("mid-checkpoint recovery diverged:\n got %v\nwant %v", got, want)
 	}
-	for _, orphan := range []string{snapshotFileName(2), walFileName(2), snapshotFileName(3) + ".tmp"} {
+	for _, orphan := range []string{snapshotFileName(2), snapshotFileName(3) + ".tmp"} {
 		if _, err := os.Stat(filepath.Join(dir, orphan)); !os.IsNotExist(err) {
 			t.Fatalf("orphan %s not cleaned up", orphan)
 		}
+	}
+	// The fresh segment is NOT an orphan: it is contiguous with the
+	// live set and recovery adopts it as the empty append tail.
+	if first, active := recovered.SegmentRange(); first != 1 || active != 2 {
+		t.Fatalf("segment range = [%d..%d], want [1..2] (crashed checkpoint's segment adopted)", first, active)
 	}
 
 	// Other side of the window: a completed manifest switch with the
@@ -296,15 +304,21 @@ func TestKillDuringCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Recreate stale generation-1 leftovers.
+	if man.WALFirst != 3 {
+		t.Fatalf("manifest first segment = %d, want 3 (checkpoint rotated past the adopted tail)", man.WALFirst)
+	}
+	// Recreate stale pre-switch leftovers: the old snapshot and the
+	// dead segments the crashed delete step would have left behind.
 	if err := os.WriteFile(filepath.Join(dir, snapshotFileName(1)), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	stale, err := wal.Create(filepath.Join(dir, walFileName(1)), wal.Options{})
-	if err != nil {
-		t.Fatal(err)
+	for idx := uint64(1); idx < man.WALFirst; idx++ {
+		stale, err := wal.Create(dir, idx, wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = stale.Close()
 	}
-	_ = stale.Close()
 
 	reopened, err := OpenDurable(dir, DurableOptions{})
 	if err != nil {
@@ -317,8 +331,13 @@ func TestKillDuringCheckpoint(t *testing.T) {
 	if got := docXML(t, reopened, "books"); got != wantXML {
 		t.Fatalf("post-switch recovery diverged:\n got %s\nwant %s", got, wantXML)
 	}
-	if _, err := os.Stat(filepath.Join(dir, walFileName(1))); !os.IsNotExist(err) {
-		t.Fatal("stale generation-1 wal not cleaned up")
+	for idx := uint64(1); idx < man.WALFirst; idx++ {
+		if _, err := os.Stat(filepath.Join(dir, wal.SegmentName(idx))); !os.IsNotExist(err) {
+			t.Fatalf("dead segment %d not cleaned up", idx)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFileName(1))); !os.IsNotExist(err) {
+		t.Fatal("stale generation-1 snapshot not cleaned up")
 	}
 }
 
@@ -405,7 +424,9 @@ func TestConcurrentDurableCommits(t *testing.T) {
 	for _, pol := range []wal.SyncPolicy{wal.SyncPerCommit, wal.SyncGrouped, wal.SyncAsync} {
 		t.Run(pol.String(), func(t *testing.T) {
 			dir := t.TempDir()
-			d, err := OpenDurable(dir, DurableOptions{Sync: pol})
+			// Tiny thresholds: rotation and auto-checkpoints race the
+			// concurrent committers, which is exactly what -race should see.
+			d, err := OpenDurable(dir, DurableOptions{Sync: pol, SegmentBytes: 512, AutoCheckpointBytes: 2048})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -458,6 +479,332 @@ func TestConcurrentDurableCommits(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// Replay across several segments: commits spill over a tiny rotation
+// threshold into ≥3 segments, the final one is torn mid-record, and
+// recovery must replay the stitched stream label-exactly up to the cut.
+func TestMultiSegmentReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := DurableOptions{SegmentBytes: 400, AutoCheckpointBytes: -1}
+	d, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndBatch(t, d, 20)
+	if _, active := d.SegmentRange(); active < 3 {
+		t.Fatalf("active segment = %d, want ≥3 segments for this test", active)
+	}
+	wantBooks := docTable(t, d, "books")
+	wantFeeds := docTable(t, d, "feeds")
+	// One more commit, which the "crash" tears mid-record.
+	if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "torn")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, active := d.SegmentRange()
+	last := filepath.Join(dir, wal.SegmentName(active))
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, st.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatalf("recovery across segments: %v", err)
+	}
+	defer recovered.Close()
+	if got := docTable(t, recovered, "books"); !reflect.DeepEqual(got, wantBooks) {
+		t.Fatalf("multi-segment recovery diverged (books):\n got %v\nwant %v", got, wantBooks)
+	}
+	if got := docTable(t, recovered, "feeds"); !reflect.DeepEqual(got, wantFeeds) {
+		t.Fatalf("multi-segment recovery diverged (feeds):\n got %v\nwant %v", got, wantFeeds)
+	}
+	if first, _ := recovered.SegmentRange(); first != 1 {
+		t.Fatalf("first live segment = %d, want 1 (no checkpoint ran)", first)
+	}
+	// The torn tail was truncated: appends resume and survive another
+	// recovery.
+	if _, err := recovered.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "after")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Crash during rotation: the old segment is sealed and the fresh one
+// exists but holds no records yet. Recovery must adopt the empty
+// segment as the append tail and replay everything before it
+// label-exactly.
+func TestCrashDuringRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := DurableOptions{SegmentBytes: 400, AutoCheckpointBytes: -1}
+	d, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndBatch(t, d, 12)
+	want := docTable(t, d, "books")
+	_, active := d.SegmentRange()
+	// Crash mid-rotation: the new segment file is created (synced
+	// header, synced directory) exactly as Log.Rotate does, but no
+	// record ever lands in it.
+	fresh, err := wal.Create(dir, active+1, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fresh.Close()
+
+	recovered, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatalf("recovery after crashed rotation: %v", err)
+	}
+	defer recovered.Close()
+	if got := docTable(t, recovered, "books"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("crashed-rotation recovery diverged:\n got %v\nwant %v", got, want)
+	}
+	if first, act := recovered.SegmentRange(); first != 1 || act != active+1 {
+		t.Fatalf("segment range = [%d..%d], want [1..%d] (empty segment adopted as tail)", first, act, active+1)
+	}
+	if _, err := recovered.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "resumed")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The background auto-checkpoint must actually fire once live log
+// bytes pass the threshold, retire dead segments, and leave a state
+// that recovers exactly.
+func TestAutoCheckpointFires(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{SegmentBytes: 256, AutoCheckpointBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Open("books", mustParse(t, "<lib><seed/></lib>"), "qed"); err != nil {
+		t.Fatal(err)
+	}
+	var runs uint64
+	for i := 0; i < 4000; i++ {
+		if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+			root := doc.Root()
+			b.AppendChild(root, fmt.Sprintf("b%d", i))
+			if kids := root.Children(); len(kids) > 32 {
+				b.Delete(kids[1])
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if runs, _ = d.AutoCheckpoints(); runs >= 2 {
+			break
+		}
+	}
+	var autoErr error
+	if runs, autoErr = d.AutoCheckpoints(); runs < 2 {
+		t.Fatalf("auto-checkpoint never fired twice (runs=%d, err=%v)", runs, autoErr)
+	}
+	if autoErr != nil {
+		t.Fatalf("auto-checkpoint error: %v", autoErr)
+	}
+	if gen := d.Generation(); gen < 3 {
+		t.Fatalf("generation = %d, want ≥3 after ≥2 auto-checkpoints", gen)
+	}
+	first, _ := d.SegmentRange()
+	if first < 2 {
+		t.Fatalf("first live segment = %d, want >1 after checkpoints", first)
+	}
+	for idx := uint64(1); idx < first; idx++ {
+		if _, err := os.Stat(filepath.Join(dir, wal.SegmentName(idx))); !os.IsNotExist(err) {
+			t.Fatalf("dead segment %d survived auto-checkpoint", idx)
+		}
+	}
+	want := docXML(t, d, "books")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery after auto-checkpoints: %v", err)
+	}
+	defer recovered.Close()
+	if got := docXML(t, recovered, "books"); got != want {
+		t.Fatalf("auto-checkpoint recovery diverged:\n got %s\nwant %s", got, want)
+	}
+	if err := recovered.Verify("books"); err != nil {
+		t.Fatalf("recovered order: %v", err)
+	}
+}
+
+// The narrowest checkpoint crash window: the old active segment ends
+// in a torn (never-fsynced, never-acknowledged) tail, the checkpoint
+// had already created its fresh segment, and the crash hit before the
+// manifest switch. Recovery must tolerate the torn non-final segment
+// — its successors are record-free, so the tear is a clean suffix cut
+// — and come back with exactly the acknowledged state.
+func TestKillDuringCheckpointWithUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := DurableOptions{AutoCheckpointBytes: -1}
+	d, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAndBatch(t, d, 6)
+	want := docTable(t, d, "books")
+	wantFeeds := docTable(t, d, "feeds")
+	_, active := d.SegmentRange()
+	// Simulate the unsynced tail a poisoned/async log would leave: raw
+	// garbage (a torn half-frame) appended straight to the file.
+	f, err := os.OpenFile(filepath.Join(dir, wal.SegmentName(active)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xCA, 0xFE, 0xBA}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	// The dying checkpoint's leftovers: its snapshot and fresh segment.
+	data, err := d.repo.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(2)), data); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := wal.Create(dir, active+1, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fresh.Close()
+
+	recovered, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatalf("recovery with unsynced checkpoint tail: %v", err)
+	}
+	defer recovered.Close()
+	if recovered.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", recovered.Generation())
+	}
+	if got := docTable(t, recovered, "books"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovery diverged (books):\n got %v\nwant %v", got, want)
+	}
+	if got := docTable(t, recovered, "feeds"); !reflect.DeepEqual(got, wantFeeds) {
+		t.Fatalf("recovery diverged (feeds):\n got %v\nwant %v", got, wantFeeds)
+	}
+	// Appends resume, and survive yet another recovery.
+	if _, err := recovered.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "resumed")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Kill during an auto-checkpoint, on both sides of the manifest
+// switch, starting from a directory the auto-checkpointer has already
+// compacted (generation ≥ 2, first live segment > 1).
+func TestKillDuringAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{SegmentBytes: 256, AutoCheckpointBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Open("books", mustParse(t, "<lib/>"), "qed"); err != nil {
+		t.Fatal(err)
+	}
+	var runs uint64
+	for i := 0; i < 4000; i++ {
+		if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+			b.AppendChild(doc.Root(), fmt.Sprintf("b%d", i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if runs, _ = d.AutoCheckpoints(); runs >= 1 {
+			break
+		}
+	}
+	if runs < 1 {
+		t.Fatal("auto-checkpoint never fired")
+	}
+	want := docXML(t, d, "books")
+	gen := d.Generation()
+	_, active := d.SegmentRange()
+	data, err := d.repo.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash side A: the NEXT auto-checkpoint died after writing its
+	// snapshot and fresh segment, before the manifest switch.
+	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(gen+1)), data); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := wal.Create(dir, active+1, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fl.Close()
+
+	frozen := DurableOptions{AutoCheckpointBytes: -1}
+	rec, err := OpenDurable(dir, frozen)
+	if err != nil {
+		t.Fatalf("recovery pre-switch: %v", err)
+	}
+	if rec.Generation() != gen {
+		t.Fatalf("generation = %d, want %d (switch never happened)", rec.Generation(), gen)
+	}
+	if got := docXML(t, rec, "books"); got != want {
+		t.Fatalf("pre-switch recovery diverged:\n got %s\nwant %s", got, want)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFileName(gen+1))); !os.IsNotExist(err) {
+		t.Fatal("unswitched checkpoint snapshot not cleaned up")
+	}
+
+	// Crash side B: the checkpoint switched the manifest but died
+	// before deleting the dead segments and old snapshot.
+	data2, err := rec.repo.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first2, active2 := rec.SegmentRange()
+	newFirst := active2 + 1
+	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(gen+1)), data2); err != nil {
+		t.Fatal(err)
+	}
+	fl2, err := wal.Create(dir, newFirst, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fl2.Close()
+	if err := store.WriteManifest(dir, store.Manifest{Gen: gen + 1, Snapshot: snapshotFileName(gen + 1), WALFirst: newFirst}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2, err := OpenDurable(dir, frozen)
+	if err != nil {
+		t.Fatalf("recovery post-switch: %v", err)
+	}
+	defer rec2.Close()
+	if rec2.Generation() != gen+1 {
+		t.Fatalf("generation = %d, want %d", rec2.Generation(), gen+1)
+	}
+	if got := docXML(t, rec2, "books"); got != want {
+		t.Fatalf("post-switch recovery diverged:\n got %s\nwant %s", got, want)
+	}
+	for idx := first2; idx < newFirst; idx++ {
+		if _, err := os.Stat(filepath.Join(dir, wal.SegmentName(idx))); !os.IsNotExist(err) {
+			t.Fatalf("dead segment %d not cleaned up", idx)
+		}
 	}
 }
 

@@ -1,16 +1,21 @@
-// Checkpoint manifests: the version-3 store record that names the
+// Checkpoint manifests: the version-4 store record that names the
 // current on-disk generation of a durable repository — which snapshot
-// container and which write-ahead log together hold the committed
-// state. The manifest is the single source of truth at recovery:
-// OpenDurable reads it, loads the named snapshot, replays the named
-// log, and ignores every other file in the directory (orphans from a
-// checkpoint that crashed before its atomic manifest switch).
+// container and which suffix of the segmented write-ahead log together
+// hold the committed state. The manifest is the single source of truth
+// at recovery: OpenDurable reads it, loads the named snapshot, replays
+// the WAL segments from the recorded first live index upward, and
+// ignores every other file in the directory (orphans from a checkpoint
+// that crashed before its atomic manifest switch).
 //
 // Layout (same conventions as versions 1 and 2 — LEB128 integers,
 // length-prefixed strings, FNV-1a trailer):
 //
-//	magic "XDYN" | version 3 | generation | snapshot name | wal name
+//	magic "XDYN" | version 4 | generation | snapshot name | first live segment index
 //	trailer: FNV-1a checksum of everything before it
+//
+// Version 3 (PR 2) recorded a single WAL file name instead of the
+// segment index; it is superseded, and a version-3 manifest is
+// rejected with ErrBadVersion rather than silently migrated.
 //
 // WriteManifest replaces the file atomically: write to a temp file,
 // fsync it, rename over ManifestName, fsync the directory. A crash at
@@ -44,9 +49,12 @@ type Manifest struct {
 	// the last checkpoint; empty for a repository that has never been
 	// checkpointed (recovery starts from an empty repository).
 	Snapshot string
-	// WAL is the write-ahead log file holding every batch committed
-	// since that snapshot.
-	WAL string
+	// WALFirst is the index of the first live write-ahead-log segment:
+	// the segments WALFirst, WALFirst+1, … (internal/wal's numbered
+	// "wal-%08d.log" files) hold every batch committed since the
+	// snapshot, and everything below WALFirst is dead history a
+	// checkpoint has already folded in.
+	WALFirst uint64
 }
 
 // MarshalManifest encodes a manifest.
@@ -56,7 +64,7 @@ func MarshalManifest(m Manifest) []byte {
 	out = append(out, versionManifest)
 	out = append(out, labels.EncodeLEB128(m.Gen)...)
 	out = appendString(out, m.Snapshot)
-	out = appendString(out, m.WAL)
+	out = append(out, labels.EncodeLEB128(m.WALFirst)...)
 	h := fnv.New64a()
 	_, _ = h.Write(out)
 	return append(out, labels.EncodeLEB128(h.Sum64())...)
@@ -84,9 +92,12 @@ func UnmarshalManifest(data []byte) (Manifest, error) {
 	if m.Snapshot, pos, err = readString(data, pos); err != nil {
 		return m, err
 	}
-	if m.WAL, pos, err = readString(data, pos); err != nil {
-		return m, err
+	first, n, err := labels.DecodeLEB128(data[pos:])
+	if err != nil {
+		return m, fmt.Errorf("%w: first segment: %v", ErrCorrupt, err)
 	}
+	m.WALFirst = first
+	pos += n
 	want, n, err := labels.DecodeLEB128(data[pos:])
 	if err != nil {
 		return m, fmt.Errorf("%w: trailer: %v", ErrCorrupt, err)

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Manifest round-trip, atomic write, and corruption detection for the
+// version-4 (segmented-WAL) layout.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := Manifest{Gen: 7, Snapshot: "snapshot-000007.xdyn", WALFirst: 42}
+	if err := WriteManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(filepath.Join(dir, ManifestName+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("manifest temp file survived the rename: %v", err)
+	}
+	// Bootstrap shape: empty snapshot, first segment 1.
+	if err := WriteManifest(dir, Manifest{Gen: 1, WALFirst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = ReadManifest(dir); err != nil || got.Snapshot != "" || got.WALFirst != 1 {
+		t.Fatalf("bootstrap manifest: %+v, %v", got, err)
+	}
+}
+
+func TestManifestRejectsDamage(t *testing.T) {
+	data := MarshalManifest(Manifest{Gen: 3, Snapshot: "snapshot-000003.xdyn", WALFirst: 9})
+	// Flip a byte inside the snapshot name (structure still parses):
+	// the FNV trailer must catch it.
+	bad := append([]byte(nil), data...)
+	bad[len(magic)+3] ^= 0x01
+	if _, err := UnmarshalManifest(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("flipped byte: %v, want ErrBadChecksum", err)
+	}
+	// A superseded version byte (v3 named a wal file, not an index) is
+	// rejected, not migrated.
+	old := append([]byte(nil), data...)
+	old[len(magic)] = 3
+	if _, err := UnmarshalManifest(old); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version 3: %v, want ErrBadVersion", err)
+	}
+	// Trailing garbage after the trailer.
+	if _, err := UnmarshalManifest(append(append([]byte(nil), data...), 0x00)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: %v, want ErrCorrupt", err)
+	}
+	// A missing manifest surfaces as os.IsNotExist for bootstrap.
+	if _, err := ReadManifest(t.TempDir()); !os.IsNotExist(err) {
+		t.Fatalf("missing manifest: %v, want IsNotExist", err)
+	}
+}

@@ -38,8 +38,10 @@ const (
 	VersionSnapshot = 1
 	// VersionRepo tags multi-document repository containers.
 	VersionRepo = 2
-	// VersionManifest tags durable-repository checkpoint manifests.
-	VersionManifest = 3
+	// VersionManifest tags durable-repository checkpoint manifests
+	// (version 4: segmented WAL, the manifest records the first live
+	// segment index; the superseded version 3 named a single log file).
+	VersionManifest = 4
 )
 
 const (

@@ -8,70 +8,196 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 )
 
-// ReplayInfo summarises a Replay pass.
+// ReplayInfo summarises a Replay pass over a segment set.
 type ReplayInfo struct {
-	// Records is the number of valid records handed to the callback.
+	// Records is the number of valid records handed to the callback,
+	// across every segment.
 	Records int
-	// ValidSize is the byte offset just past the last valid record —
-	// the size OpenAt should truncate to before appending.
+	// Segments is how many segments carry the live stream
+	// (Last-First+1). Trailing record-free segments past a tear are
+	// not counted; they are overwritten by the next rotation.
+	Segments int
+	// First and Last are the lowest and highest segment indices of the
+	// live stream; Last names the segment OpenAt reopens for
+	// appending.
+	First, Last uint64
+	// ValidSize is the byte offset just past the last valid record of
+	// segment Last — the size OpenAt truncates it to. A value below
+	// HeaderSize means segment Last is a crashed creation (its header
+	// never fully reached disk; it cannot hold a record) and OpenAt
+	// recreates it.
 	ValidSize int64
-	// Torn reports whether bytes past ValidSize were discarded (a
-	// truncated or CRC-failing tail, the signature of a crash
-	// mid-append).
+	// LiveBytes is the total valid bytes across the whole set (sealed
+	// segments' full sizes plus the last segment's valid prefix) — the
+	// figure Log.LiveBytes continues from.
+	LiveBytes int64
+	// Torn reports whether bytes past ValidSize were discarded from
+	// segment Last (a truncated or CRC-failing tail, the signature of
+	// a crash mid-append — or a crashed segment creation).
 	Torn bool
 }
 
-// Replay streams every valid record of the WAL at path through fn in
-// append order, reading one frame at a time — recovery memory stays
-// O(largest record), not O(log size). A truncated or corrupt tail is
-// not an error: replay stops cleanly at the last record whose frame
-// and CRC check out and reports the cut in the returned info. A
-// missing or misheadered file, or an fn error, aborts with that error
-// (fn errors abort because a record that cannot be applied means
-// recovered state would silently diverge from the log). The payload
-// slice is reused between records: fn must not retain it after
-// returning (decode copies what it keeps).
-func Replay(path string, fn func(payload []byte) error) (ReplayInfo, error) {
+// errRecordAfterTear aborts the record-free scan of segments past a
+// torn one: finding any record there means real corruption.
+var errRecordAfterTear = errors.New("record after torn segment")
+
+// Replay streams every valid record of the segment set in dir through
+// fn in append order: segments first, first+1, … are replayed in index
+// order, one frame at a time — recovery memory stays O(largest
+// record), not O(log size). A truncated or corrupt tail in the LAST
+// segment is not an error: replay stops cleanly at the last record
+// whose frame and CRC check out and reports the cut in the returned
+// info. Likewise a last segment shorter than its header is a crashed
+// creation — it cannot hold a record (the header is synced before a
+// segment accepts appends) — reported as a torn empty tail for OpenAt
+// to recreate.
+//
+// A torn frame in a NON-final segment is tolerated only when every
+// later segment holds zero records (then the tear is still a clean
+// suffix cut of the global stream — the signature of a crash between
+// a checkpoint's segment creation and its manifest switch while the
+// old tail was unsynced); Replay then cuts the stream at the tear and
+// OpenAt resumes appending there. If any record exists after the
+// tear, replay aborts with ErrTornSegment: rotation seals a segment
+// with an fsync before its successor takes records, so a record past
+// mid-set damage means corruption, and replaying it would reorder the
+// stream (no record after the damage is handed to fn).
+//
+// A gap in the index sequence, a missing first segment, a misheadered
+// non-final segment, or an fn error abort with an error (fn errors
+// abort because a record that cannot be applied means recovered state
+// would silently diverge from the log). The payload slice is reused
+// between records: fn must not retain it after returning (decode
+// copies what it keeps).
+func Replay(dir string, first uint64, fn func(payload []byte) error) (ReplayInfo, error) {
 	info := ReplayInfo{}
-	f, err := os.Open(path)
+	indices, err := listSegments(dir, first)
 	if err != nil {
 		return info, err
+	}
+	info.First = indices[0]
+	last := indices[len(indices)-1]
+	cut := false // a non-final tear was seen; later segments must be record-free
+	for _, idx := range indices {
+		name := SegmentName(idx)
+		path := filepath.Join(dir, name)
+		if cut {
+			if err := requireRecordFree(path); err != nil {
+				return info, fmt.Errorf("segment %s after torn %s: %w", name, SegmentName(info.Last), err)
+			}
+			continue
+		}
+		records, validSize, torn, err := replaySegment(path, fn)
+		switch {
+		case errors.Is(err, ErrShortHeader) && idx == last:
+			// Crashed creation: adopt it as a torn, empty tail.
+			info.Last, info.ValidSize, info.Torn = idx, 0, true
+			continue
+		case err != nil:
+			return info, fmt.Errorf("segment %s: %w", name, err)
+		}
+		info.Records += records
+		info.LiveBytes += validSize
+		info.Last, info.ValidSize, info.Torn = idx, validSize, torn
+		if torn && idx != last {
+			cut = true
+		}
+	}
+	info.Segments = int(info.Last - info.First + 1)
+	return info, nil
+}
+
+// requireRecordFree verifies a segment past a tear holds no records: a
+// missing-or-short header is fine (another crashed creation), a
+// record is ErrTornSegment-grade corruption. No payload reaches any
+// callback.
+func requireRecordFree(path string) error {
+	_, _, _, err := replaySegment(path, func([]byte) error { return errRecordAfterTear })
+	switch {
+	case errors.Is(err, errRecordAfterTear):
+		return ErrTornSegment
+	case errors.Is(err, ErrShortHeader):
+		return nil
+	default:
+		return err
+	}
+}
+
+// listSegments returns the contiguous segment indices first, first+1,
+// … present in dir. Indices below first are ignored (dead segments a
+// checkpoint retired; the repository deletes them as orphans). A
+// missing first segment or a gap is ErrMissingSegment.
+func listSegments(dir string, first uint64) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var indices []uint64
+	for _, e := range entries {
+		if idx, ok := ParseSegmentName(e.Name()); ok && idx >= first {
+			indices = append(indices, idx)
+		}
+	}
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("%w: no segment at or above %s", ErrMissingSegment, SegmentName(first))
+	}
+	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+	if indices[0] != first {
+		return nil, fmt.Errorf("%w: first live segment %s missing (lowest present: %s)",
+			ErrMissingSegment, SegmentName(first), SegmentName(indices[0]))
+	}
+	for i := 1; i < len(indices); i++ {
+		if indices[i] != indices[i-1]+1 {
+			return nil, fmt.Errorf("%w: %s missing", ErrMissingSegment, SegmentName(indices[i-1]+1))
+		}
+	}
+	return indices, nil
+}
+
+// replaySegment streams one segment's valid records through fn,
+// returning the record count, the valid prefix length, and whether a
+// torn tail was cut. The caller decides whether torn is tolerable
+// (last segment) or corruption (any earlier one).
+func replaySegment(path string, fn func(payload []byte) error) (records int, validSize int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
 
 	header := make([]byte, HeaderSize)
 	if _, err := io.ReadFull(r, header); err != nil {
-		return info, ErrShortHeader
+		return 0, 0, false, ErrShortHeader
 	}
 	if string(header[:len(Magic)]) != Magic {
-		return info, fmt.Errorf("%w: magic %q", ErrBadHeader, header[:len(Magic)])
+		return 0, 0, false, fmt.Errorf("%w: magic %q", ErrBadHeader, header[:len(Magic)])
 	}
 	if header[len(Magic)] != Version {
-		return info, fmt.Errorf("%w: version %d", ErrBadHeader, header[len(Magic)])
+		return 0, 0, false, fmt.Errorf("%w: version %d", ErrBadHeader, header[len(Magic)])
 	}
-	info.ValidSize = int64(HeaderSize)
+	validSize = int64(HeaderSize)
 
 	frame := make([]byte, FrameHeaderSize)
 	var payload []byte
 	for {
 		if _, err := io.ReadFull(r, frame); err != nil {
 			if errors.Is(err, io.EOF) {
-				return info, nil // clean end
+				return records, validSize, false, nil // clean end
 			}
 			if errors.Is(err, io.ErrUnexpectedEOF) {
-				info.Torn = true
-				return info, nil
+				return records, validSize, true, nil
 			}
-			return info, err
+			return records, validSize, false, err
 		}
 		length := binary.LittleEndian.Uint32(frame[0:4])
 		want := binary.LittleEndian.Uint32(frame[4:8])
 		if length > MaxRecordSize {
-			info.Torn = true
-			return info, nil
+			return records, validSize, true, nil
 		}
 		if uint32(cap(payload)) < length {
 			payload = make([]byte, length)
@@ -79,19 +205,17 @@ func Replay(path string, fn func(payload []byte) error) (ReplayInfo, error) {
 		payload = payload[:length]
 		if _, err := io.ReadFull(r, payload); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				info.Torn = true
-				return info, nil
+				return records, validSize, true, nil
 			}
-			return info, err
+			return records, validSize, false, err
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			info.Torn = true
-			return info, nil
+			return records, validSize, true, nil
 		}
 		if err := fn(payload); err != nil {
-			return info, fmt.Errorf("wal: replay record %d: %w", info.Records, err)
+			return records, validSize, false, fmt.Errorf("wal: replay record %d: %w", records, err)
 		}
-		info.Records++
-		info.ValidSize += int64(FrameHeaderSize) + int64(length)
+		records++
+		validSize += int64(FrameHeaderSize) + int64(length)
 	}
 }

@@ -1,23 +1,42 @@
 // Package wal is the repository's write-ahead log: an append-only,
-// CRC-checked, length-prefixed record file that makes committed update
+// CRC-checked, length-prefixed record log that makes committed update
 // batches durable before the next whole-repository snapshot. The
 // package knows nothing about XML or update semantics — records are
 // opaque byte payloads framed and checksummed here; the repository
 // layer (internal/repo) defines what a payload means and internal/
 // update defines how a batch of ops serialises into one.
 //
-// On-disk layout (the full specification, including the payload
-// grammar the repository writes, lives in docs/DURABILITY.md and is
-// kept honest by a golden-constants test):
+// The log is **segmented**: it is a set of numbered files
+// ("wal-%08d.log", indices monotonic and never reused) in one
+// directory, of which exactly one — the highest-numbered — is open for
+// appending. When the active segment would outgrow the size policy
+// (Options.SegmentBytes) the log rotates: the active segment is
+// fsynced, sealed and closed, and a fresh segment with the next index
+// is created. Sealed segments are immutable, which is what lets a
+// checkpoint retire any prefix of the set by deleting whole files and
+// lets recovery cost stay proportional to the live suffix instead of
+// the full history.
+//
+// On-disk layout of one segment (the full specification, including the
+// payload grammar the repository writes, lives in docs/DURABILITY.md
+// and is kept honest by a golden-constants test):
 //
 //	header:  magic "XWAL" | version byte 1
 //	record:  payload length (uint32 LE) | CRC-32/IEEE of payload (uint32 LE) | payload
 //
-// Records are appended, never rewritten. Replay streams records back
-// in order and stops cleanly at the first frame that is truncated or
-// fails its CRC — a torn tail from a crash mid-append loses only the
-// commit that was being written, never an earlier one. OpenAt then
-// truncates the tail so new appends extend the last valid record.
+// Records are appended, never rewritten. Replay streams the segment
+// set back in index order and stops cleanly at the first frame of the
+// LAST segment that is truncated or fails its CRC — a torn tail from a
+// crash mid-append loses only the commit that was being written, never
+// an earlier one. Rotation seals segments with an fsync before their
+// successor exists, so a well-formed crash can only tear the newest
+// one; replay therefore accepts damage elsewhere only in the one
+// shape a crash can legitimately produce (a tear followed by nothing
+// but record-free segments — a checkpoint that died between creating
+// its fresh segment and switching the manifest) and aborts as corrupt
+// on any record past a tear or any gap in the index sequence. OpenAt
+// then truncates the torn tail so new appends extend the last valid
+// record, recreating the tail segment if its creation itself crashed.
 //
 // Durability is configurable per log (SyncPolicy): fsync on every
 // append, grouped fsyncs that let concurrent committers share one disk
@@ -31,6 +50,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -38,11 +60,11 @@ import (
 // On-disk format constants. docs/DURABILITY.md documents these values;
 // TestDurabilityDocConstants fails if doc and code drift apart.
 const (
-	// Magic opens every WAL file.
+	// Magic opens every WAL segment file.
 	Magic = "XWAL"
 	// Version is the current WAL format version byte.
 	Version = 1
-	// HeaderSize is the byte length of the file header (magic + version).
+	// HeaderSize is the byte length of the segment header (magic + version).
 	HeaderSize = len(Magic) + 1
 	// FrameHeaderSize is the byte length of a record frame header
 	// (uint32 payload length + uint32 CRC, both little-endian).
@@ -50,6 +72,14 @@ const (
 	// MaxRecordSize bounds a single record payload; a frame claiming
 	// more is treated as corruption.
 	MaxRecordSize = 1 << 30
+	// SegmentPattern is the fmt pattern of segment file names; the
+	// decimal index is zero-padded to eight digits so lexical order is
+	// numeric order for every index below 10^8.
+	SegmentPattern = "wal-%08d.log"
+	// DefaultSegmentBytes is the rotation threshold used when
+	// Options.SegmentBytes is zero: an append that would push the
+	// active segment past it rotates to a fresh segment first.
+	DefaultSegmentBytes = 4 << 20
 )
 
 // DefaultFlushInterval is the async policy's background fsync period —
@@ -58,11 +88,41 @@ const DefaultFlushInterval = 50 * time.Millisecond
 
 // Errors reported by the log.
 var (
-	ErrClosed      = errors.New("wal: log is closed")
-	ErrBadHeader   = errors.New("wal: bad file header")
-	ErrTooLarge    = errors.New("wal: record exceeds MaxRecordSize")
-	ErrShortHeader = errors.New("wal: file shorter than header")
+	ErrClosed         = errors.New("wal: log is closed")
+	ErrBadHeader      = errors.New("wal: bad segment header")
+	ErrTooLarge       = errors.New("wal: record exceeds MaxRecordSize")
+	ErrShortHeader    = errors.New("wal: segment shorter than header")
+	ErrMissingSegment = errors.New("wal: segment set has a gap")
+	ErrTornSegment    = errors.New("wal: torn record in a non-final segment")
 )
+
+// SegmentName returns the file name of segment index (SegmentPattern).
+func SegmentName(index uint64) string { return fmt.Sprintf(SegmentPattern, index) }
+
+// ParseSegmentName extracts the index from a segment file name,
+// reporting whether name matches SegmentPattern exactly — the
+// canonical zero-padded form only (8 digits, or more without a
+// leading zero for indices ≥ 10^8). Rejecting near-misses like
+// "wal-7.log" matters: a stray foreign file that parsed as an index
+// would corrupt the contiguity check and wedge recovery.
+func ParseSegmentName(name string) (uint64, bool) {
+	digits, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, false
+	}
+	digits, ok = strings.CutSuffix(digits, ".log")
+	if !ok || len(digits) < 8 || (len(digits) > 8 && digits[0] == '0') {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	if SegmentName(idx) != name {
+		return 0, false
+	}
+	return idx, true
+}
 
 // SyncPolicy selects when appended records reach stable storage.
 type SyncPolicy int
@@ -109,6 +169,11 @@ type Options struct {
 	GroupWindow time.Duration
 	// FlushInterval overrides DefaultFlushInterval for SyncAsync.
 	FlushInterval time.Duration
+	// SegmentBytes is the rotation threshold: an append that would grow
+	// the active segment past it rotates to a fresh segment first (a
+	// segment always holds at least one record, however large). Zero
+	// means DefaultSegmentBytes; negative disables rotation.
+	SegmentBytes int64
 }
 
 func (o Options) flushInterval() time.Duration {
@@ -118,14 +183,25 @@ func (o Options) flushInterval() time.Duration {
 	return DefaultFlushInterval
 }
 
-// Log is an open write-ahead log positioned for appending. Safe for
-// concurrent use; record order is the order Append calls complete.
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes != 0 {
+		return o.SegmentBytes
+	}
+	return DefaultSegmentBytes
+}
+
+// Log is an open write-ahead log positioned for appending to the
+// highest-numbered segment of its set. Safe for concurrent use; record
+// order is the order Append calls complete.
 type Log struct {
 	opts Options
+	dir  string
 
 	mu     sync.Mutex
-	f      *os.File
-	size   int64
+	f      *os.File // the active (highest-index) segment
+	active uint64   // index of the active segment
+	size   int64    // bytes in the active segment
+	total  int64    // bytes across every live segment, sealed ones included
 	closed bool
 	// err is sticky: once an fsync fails the log refuses further
 	// appends, because an unsynced tail may or may not survive a crash.
@@ -146,11 +222,55 @@ type flushEpoch struct {
 	err   error
 }
 
-// Create creates (or truncates) a WAL file, writes the header and
-// syncs it. The caller is responsible for making the file reachable
-// (manifest, directory fsync) before relying on it.
-func Create(path string, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+// Create creates (or truncates) segment index in dir as a new log's
+// active segment, writing and syncing the header and fsyncing the
+// directory so the file survives a crash. The caller is responsible
+// for making the segment the manifest's first live segment before
+// relying on it.
+func Create(dir string, index uint64, opts Options) (*Log, error) {
+	f, err := createSegment(dir, index)
+	if err != nil {
+		return nil, err
+	}
+	return newLog(dir, f, index, int64(HeaderSize), int64(HeaderSize), opts), nil
+}
+
+// OpenAt opens the segment set a Replay examined for appending: the
+// last live segment is truncated to the valid prefix length the
+// replay reported (discarding any torn tail) and positioned for
+// appending. A ValidSize below HeaderSize marks a crashed segment
+// creation (the header never fully reached disk; no record can have
+// landed): the segment is recreated with a fresh synced header
+// instead of opened.
+func OpenAt(dir string, info ReplayInfo, opts Options) (*Log, error) {
+	if info.ValidSize < int64(HeaderSize) {
+		f, err := createSegment(dir, info.Last)
+		if err != nil {
+			return nil, err
+		}
+		return newLog(dir, f, info.Last, int64(HeaderSize), info.LiveBytes+int64(HeaderSize), opts), nil
+	}
+	f, err := os.OpenFile(filepath.Join(dir, SegmentName(info.Last)), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(info.ValidSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(info.ValidSize, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newLog(dir, f, info.Last, info.ValidSize, info.LiveBytes, opts), nil
+}
+
+// createSegment creates (or truncates) one segment file with a synced
+// header, then fsyncs the directory: a segment must be durably linked
+// before records land in it, or a crash could silently drop a synced
+// suffix of the record stream.
+func createSegment(dir string, index uint64) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, SegmentName(index)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -163,33 +283,26 @@ func Create(path string, opts Options) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return newLog(f, int64(HeaderSize), opts), nil
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
-// OpenAt opens an existing WAL file for appending at size — the valid
-// prefix length a Replay reported — truncating any torn tail beyond it.
-func OpenAt(path string, opts Options, size int64) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+// syncDir fsyncs a directory, making completed file creations in it
+// durable (local twin of internal/store.SyncDir; wal stays store-free).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if size < int64(HeaderSize) {
-		f.Close()
-		return nil, ErrShortHeader
-	}
-	if err := f.Truncate(size); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if _, err := f.Seek(size, 0); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return newLog(f, size, opts), nil
+	defer d.Close()
+	return d.Sync()
 }
 
-func newLog(f *os.File, size int64, opts Options) *Log {
-	l := &Log{opts: opts, f: f, size: size}
+func newLog(dir string, f *os.File, active uint64, size, total int64, opts Options) *Log {
+	l := &Log{opts: opts, dir: dir, f: f, active: active, size: size, total: total}
 	switch opts.Policy {
 	case SyncGrouped:
 		l.epoch = &flushEpoch{ready: make(chan struct{})}
@@ -205,10 +318,11 @@ func newLog(f *os.File, size int64, opts Options) *Log {
 	return l
 }
 
-// Append frames payload (length + CRC) and appends it, honouring the
-// log's sync policy: it returns once the record is durable under
-// SyncPerCommit and SyncGrouped, or once it is written (not yet
-// synced) under SyncAsync.
+// Append frames payload (length + CRC) and appends it to the active
+// segment — rotating to a fresh segment first if the size policy says
+// this append would overgrow it — honouring the log's sync policy: it
+// returns once the record is durable under SyncPerCommit and
+// SyncGrouped, or once it is written (not yet synced) under SyncAsync.
 func (l *Log) Append(payload []byte) error {
 	if len(payload) > MaxRecordSize {
 		return ErrTooLarge
@@ -228,12 +342,19 @@ func (l *Log) Append(payload []byte) error {
 		l.mu.Unlock()
 		return err
 	}
+	if sb := l.opts.segmentBytes(); sb > 0 && l.size > int64(HeaderSize) && l.size+int64(len(frame)) > sb {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
 	if _, err := l.f.Write(frame); err != nil {
 		l.err = err
 		l.mu.Unlock()
 		return err
 	}
 	l.size += int64(len(frame))
+	l.total += int64(len(frame))
 
 	switch l.opts.Policy {
 	case SyncPerCommit:
@@ -258,7 +379,64 @@ func (l *Log) Append(payload []byte) error {
 	}
 }
 
-// Sync forces an fsync of everything appended so far.
+// Rotate seals the active segment (fsync, close) and opens a fresh one
+// with the next index, returning the new active index. Rotation is
+// what bounds segment size — and, one level up, what lets a checkpoint
+// retire history by whole files. Appends never split a record across
+// segments; the size policy (Options.SegmentBytes) calls this
+// automatically inside Append.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if err := l.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return l.active, nil
+}
+
+// rotateLocked seals the active segment and swaps in segment active+1.
+// The old segment is fsynced BEFORE its successor exists, so replay's
+// "only the last segment may be torn" rule is an invariant of the file
+// set, not an assumption. Caller holds l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		// The unsynced tail may or may not survive: poison, exactly as
+		// a failed policy fsync would.
+		l.err = err
+		return err
+	}
+	nf, err := createSegment(l.dir, l.active+1)
+	if err != nil {
+		// Nothing was lost and the active segment is intact: report the
+		// error (the caller's append fails) without poisoning.
+		return err
+	}
+	// Committers parked on the current grouped epoch wrote to the old
+	// segment; the sync above made them durable, so resolve the epoch
+	// now rather than leaving them to wait for a flush of the new file
+	// that never covered them.
+	if l.epoch != nil {
+		old := l.epoch
+		l.epoch = &flushEpoch{ready: make(chan struct{})}
+		close(old.ready)
+	}
+	old := l.f
+	l.f = nf
+	l.active++
+	l.size = int64(HeaderSize)
+	l.total += int64(HeaderSize)
+	_ = old.Close()
+	return nil
+}
+
+// Sync forces an fsync of everything appended to the active segment
+// (sealed segments were synced when they were sealed).
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -275,15 +453,32 @@ func (l *Log) Sync() error {
 	return nil
 }
 
-// Size returns the current file size (header plus appended frames).
+// Size returns the active segment's current size (header plus frames).
 func (l *Log) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.size
 }
 
+// LiveBytes returns the total bytes across every live segment — sealed
+// ones plus the active one. It is the recovery-cost signal size-
+// triggered checkpoints watch.
+func (l *Log) LiveBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// ActiveIndex returns the index of the segment currently open for
+// appending (the highest index of the set).
+func (l *Log) ActiveIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active
+}
+
 // Close stops the flusher, syncs outstanding writes and closes the
-// file. Further appends return ErrClosed.
+// active segment. Further appends return ErrClosed.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -350,7 +545,13 @@ func (l *Log) groupFlusher() {
 		err := f.Sync()
 		if err != nil {
 			l.mu.Lock()
-			if l.err == nil {
+			if l.f != f {
+				// The segment was rotated away after the flusher captured
+				// it; rotation synced it before sealing, so every byte the
+				// epoch covers is durable and the failure (typically
+				// "file already closed") is moot.
+				err = nil
+			} else if l.err == nil {
 				l.err = err
 			}
 			l.mu.Unlock()
@@ -385,7 +586,9 @@ func (l *Log) asyncFlusher() {
 			// Sync outside the mutex: appends proceed during the flush.
 			if err := f.Sync(); err != nil {
 				l.mu.Lock()
-				if l.err == nil {
+				// As in groupFlusher: a rotated-away segment was synced
+				// at sealing, so only the still-active file can poison.
+				if l.f == f && l.err == nil {
 					l.err = err
 				}
 				l.mu.Unlock()

@@ -1,13 +1,25 @@
 #!/bin/sh
-# Regenerates BENCH_repo.json: the repository/batching perf trajectory.
-# Run from the repo root:
+# Regenerates BENCH_repo.json: the repository/batching/durability perf
+# trajectory. Besides the Go benchmarks (including BenchmarkRecovery,
+# the crash-recovery timing), it runs the C11 recovery experiment and
+# folds its rows in, so recovery-time-vs-history numbers are tracked
+# across PRs too. Run from the repo root:
 #
 #	sh scripts/bench_repo.sh
 set -e
 out=BENCH_repo.json
-go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit' \
+
+# C11: recovery time vs history length, unbounded log vs segmented +
+# auto-checkpoint (CSV columns: mode,commits,live-log-bytes,segments,recover-ms).
+c11=$(go run ./cmd/xbench -exp C11 -quick -csv | awk -F, '
+	NR > 1 {
+		printf "%s    {\"mode\": \"%s\", \"commits\": %s, \"live_log_bytes\": %s, \"segments\": %s, \"recover_ms\": %s}", sep, $1, $2, $3, $4, $5
+		sep = ",\n"
+	}')
+
+go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit|BenchmarkRecovery' \
 	-benchmem -benchtime 1s . |
-	awk '
+	awk -v c11="$c11" '
 	/^goos:/    { goos = $2 }
 	/^goarch:/  { goarch = $2 }
 	/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
@@ -19,6 +31,7 @@ go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|Benc
 	}
 	END {
 		printf "\n  ],\n"
+		printf "  \"c11_recovery\": [\n%s\n  ],\n", c11
 		printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
 	}
 	BEGIN { printf "{\n  \"suite\": \"repo\",\n  \"benchmarks\": [\n" }

@@ -426,18 +426,24 @@ func RestoreRepository(data []byte, opts RepoOptions) (*Repository, error) {
 // --- durable repository ------------------------------------------------------
 
 // Durable repository types: the crash-safe layer — a Repository whose
-// commits are write-ahead logged and whose state survives process
-// death (see internal/repo's durable layer and docs/DURABILITY.md for
-// the on-disk format and recovery protocol).
+// commits are write-ahead logged into numbered segments and whose
+// state survives process death with bounded recovery cost (see
+// internal/repo's durable layer, docs/DURABILITY.md for the on-disk
+// format and recovery protocol, and docs/OPERATIONS.md for the
+// operator's guide).
 type (
 	// DurableRepository is a write-ahead-logged repository: every
-	// Open/Drop/Update/Batch is appended to the log before the
-	// document lock is released, Checkpoint folds the log into a
-	// fresh snapshot, and NewDurableRepository replays snapshot + log
-	// back to the exact committed state after a crash.
+	// Open/Drop/Update/Batch is appended to the segmented log before
+	// the document lock is released, Checkpoint (manual, or the
+	// background auto-checkpoint once live log bytes pass the
+	// threshold) folds the log into a fresh snapshot and deletes the
+	// dead segments, and NewDurableRepository replays snapshot +
+	// segments back to the exact committed state after a crash.
 	DurableRepository = repo.DurableRepository
 	// DurableOptions configures a durable repository: the inner
-	// repository options plus the WAL fsync policy and flusher timing.
+	// repository options, the WAL fsync policy and flusher timing,
+	// the SegmentBytes rotation threshold, and the
+	// AutoCheckpointBytes auto-checkpoint threshold.
 	DurableOptions = repo.DurableOptions
 	// SyncPolicy selects when committed records reach stable storage.
 	SyncPolicy = wal.SyncPolicy
@@ -457,10 +463,15 @@ var ErrRepoClosed = repo.ErrClosed
 
 // NewDurableRepository opens (creating if necessary) the durable
 // repository stored in dir, recovering any committed state: it loads
-// the checkpoint snapshot the manifest names, replays the write-ahead
-// log on top — stopping cleanly at a torn tail — and is then ready for
-// logged commits. Call Checkpoint() on the returned repository to fold
-// the log into a fresh snapshot, and Close() before discarding it.
+// the checkpoint snapshot the manifest names, replays the live
+// write-ahead-log segments on top in index order — stopping cleanly
+// at a torn tail in the newest one — and is then ready for logged
+// commits. The log rotates into fresh segments as it grows, and a
+// background auto-checkpoint (on by default; see
+// DurableOptions.AutoCheckpointBytes) folds it into a fresh snapshot
+// whenever live log bytes pass the threshold, so recovery time stays
+// bounded regardless of total history. Call Checkpoint() to fold the
+// log on demand, and Close() before discarding the repository.
 func NewDurableRepository(dir string, opts DurableOptions) (*DurableRepository, error) {
 	return repo.OpenDurable(dir, opts)
 }
