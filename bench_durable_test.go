@@ -123,3 +123,71 @@ func BenchmarkDurableCommit(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMultiBatch measures one atomic two-document transaction
+// (MultiBatch, a single logged RecMulti record and one fsync) against
+// the equivalent pair of per-document Batch commits (two records, two
+// fsyncs, no cross-document atomicity) — the C12 trade as a Go
+// benchmark, tracked in BENCH_repo.json. Trimming keeps both trees at
+// steady state so the numbers isolate transaction shape.
+func BenchmarkMultiBatch(b *testing.B) {
+	setup := func(b *testing.B) *DurableRepository {
+		b.Helper()
+		r, err := NewDurableRepository(b.TempDir(), DurableOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"data", "index"} {
+			doc, err := ParseString("<r><seed/></r>")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Open(name, doc, "qed"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return r
+	}
+	queue := func(root *Node, bt *Batch) {
+		for j := 0; j < 8; j++ {
+			bt.AppendChild(root, "item")
+		}
+		if kids := root.Children(); len(kids) > 64 {
+			for j := 0; j < 8; j++ {
+				bt.Delete(kids[j])
+			}
+		}
+	}
+	b.Run("Multi", func(b *testing.B) {
+		r := setup(b)
+		defer r.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := r.MultiBatch([]string{"data", "index"}, func(m map[string]*MultiDoc) error {
+				for _, md := range m {
+					queue(md.Document().Root(), md.Batch())
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PerDoc", func(b *testing.B) {
+		r := setup(b)
+		defer r.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, name := range []string{"data", "index"} {
+				_, err := r.Batch(name, func(doc *Document, bt *Batch) error {
+					queue(doc.Root(), bt)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,15 +1,17 @@
 // Command xbench runs the experiment suite behind EXPERIMENTS.md: the
 // paper's qualitative claims C1-C8 (DESIGN.md's per-experiment index)
 // plus the repository-layer measurements — C9 batched transactions,
-// C10 durable-commit fsync policies, and C11 recovery time under WAL
-// segmentation + auto-checkpoint — as measured tables.
+// C10 durable-commit fsync policies, C11 recovery time under WAL
+// segmentation + auto-checkpoint, and C12 multi-document transaction
+// cost (MultiBatch vs equivalent per-document batches) — as measured
+// tables.
 //
 // Usage:
 //
 //	xbench              # run every experiment
 //	xbench -exp C6      # run one experiment
 //	xbench -quick       # smaller workloads
-//	xbench -exp C11 -csv  # machine-readable rows (bench_repo.sh uses this)
+//	xbench -exp C12 -csv  # machine-readable rows (bench_repo.sh uses this)
 package main
 
 import (
@@ -23,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (C1-C11); empty runs all")
+	exp := flag.String("exp", "", "experiment id (C1-C12); empty runs all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	csv := flag.Bool("csv", false, "print tables as CSV (header + rows only)")
 	flag.Parse()
@@ -40,6 +42,7 @@ func run(exp string, quick, csv bool) error {
 	batchOps, batchSize := 2000, 64
 	durCommits, durBatch := 200, 16
 	recHistories, recBatch := []int{250, 1000, 4000}, 8
+	multiTxns, multiBatch := 120, 8
 	cfg := core.DefaultProbeConfig()
 	if quick {
 		storms = 15
@@ -48,6 +51,7 @@ func run(exp string, quick, csv bool) error {
 		batchOps, batchSize = 400, 32
 		durCommits, durBatch = 40, 8
 		recHistories = []int{100, 400, 1600}
+		multiTxns, multiBatch = 30, 4
 		cfg.BaseNodes, cfg.StormOps, cfg.SkewedOps, cfg.ZigzagOps, cfg.XPathNodes = 100, 100, 300, 100, 36
 	}
 	runners := []struct {
@@ -68,6 +72,7 @@ func run(exp string, quick, csv bool) error {
 		{"C9", func() (experiments.Table, error) { return experiments.C9BatchedUpdates(batchOps, batchSize) }},
 		{"C10", func() (experiments.Table, error) { return experiments.C10CommitLatency(durCommits, durBatch) }},
 		{"C11", func() (experiments.Table, error) { return experiments.C11Recovery(recHistories, recBatch) }},
+		{"C12", func() (experiments.Table, error) { return experiments.C12MultiDoc(multiTxns, multiBatch) }},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -86,7 +91,7 @@ func run(exp string, quick, csv bool) error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (C1-C11)", exp)
+		return fmt.Errorf("unknown experiment %q (C1-C12)", exp)
 	}
 	return nil
 }

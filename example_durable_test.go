@@ -57,6 +57,56 @@ func ExampleNewDurableRepository() {
 	// order invariant: true
 }
 
+// ExampleDurableRepository_MultiBatch commits one atomic transaction
+// across two documents — the data document and its index change
+// together or not at all. The whole transaction is appended to the
+// write-ahead log as a single record, so a crash can never leave the
+// pair half-updated: recovery replays either both documents' changes
+// or neither.
+func ExampleDurableRepository_MultiBatch() {
+	dir, err := os.MkdirTemp("", "xmldyn-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	r, err := xmldyn.NewDurableRepository(dir, xmldyn.DurableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	books, _ := xmldyn.ParseString("<lib/>")
+	index, _ := xmldyn.ParseString("<idx/>")
+	if err := r.Open("books", books, "qed"); err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Open("index", index, "qed"); err != nil {
+		log.Fatal(err)
+	}
+
+	_, err = r.MultiBatch([]string{"books", "index"}, func(m map[string]*xmldyn.MultiDoc) error {
+		bk, ix := m["books"], m["index"]
+		bk.Batch().AppendChild(bk.Document().Root(), "book")
+		ix.Batch().AppendChild(ix.Document().Root(), "entry")
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"books", "index"} {
+		err := r.View(name, func(s *xmldyn.Session) error {
+			fmt.Printf("%s: %d children\n", name, len(s.Document().Root().Children()))
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Output:
+	// books: 1 children
+	// index: 1 children
+}
+
 // ExampleDurableRepository_Checkpoint folds the write-ahead log into a
 // fresh snapshot: the generation advances, dead segments are deleted,
 // and the live log shrinks to one bare segment header — which is why
@@ -90,8 +140,9 @@ func ExampleDurableRepository_Checkpoint() {
 		log.Fatal(err)
 	}
 	fmt.Println("generation after:", r.Generation())
-	fmt.Println("live log bytes after:", r.LogSize()) // one bare segment header
-	first, active := r.SegmentRange()
+	live, _ := r.LogSize()                     // ok is false only on a closed repository
+	fmt.Println("live log bytes after:", live) // one bare segment header
+	first, active, _ := r.SegmentRange()
 	fmt.Printf("live segments: [%d..%d]\n", first, active)
 	// Output:
 	// generation before: 1

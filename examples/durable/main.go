@@ -97,10 +97,13 @@ func main() {
 			log.Fatalf("commit %d: %v", i, err)
 		}
 	}
-	first, active := r.SegmentRange()
+	// The ok results guard against reading a closed repository's zeros
+	// as "empty log"; this handle is open, so they are true here.
+	first, active, _ := r.SegmentRange()
+	live, _ := r.LogSize()
 	fmt.Printf("committed %d batches to %s\n", *commits, *dir)
 	fmt.Printf("live log: %d bytes across segments [%d..%d], generation %d\n",
-		r.LogSize(), first, active, r.Generation())
+		live, first, active, r.Generation())
 	listDir(*dir, "before crash")
 	fmt.Println("simulating crash: abandoning the repository without Close")
 
@@ -127,13 +130,14 @@ func main() {
 	// Phase 3: checkpoint folds the log into a snapshot and retires the
 	// dead segments — this is what the auto-checkpointer does in the
 	// background once live bytes pass AutoCheckpointBytes.
-	before := recovered.LogSize()
+	before, _ := recovered.LogSize()
 	if err := recovered.Checkpoint(); err != nil {
 		log.Fatalf("checkpoint: %v", err)
 	}
-	f2, a2 := recovered.SegmentRange()
+	f2, a2, _ := recovered.SegmentRange()
+	after, _ := recovered.LogSize()
 	fmt.Printf("checkpoint: generation %d, log %d -> %d bytes, live segments now [%d..%d]\n",
-		recovered.Generation(), before, recovered.LogSize(), f2, a2)
+		recovered.Generation(), before, after, f2, a2)
 	listDir(*dir, "after checkpoint")
 
 	// Post-checkpoint commits land in the fresh segment.
@@ -143,5 +147,6 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("post-checkpoint commit appended; log now %d bytes\n", recovered.LogSize())
+	final, _ := recovered.LogSize()
+	fmt.Printf("post-checkpoint commit appended; log now %d bytes\n", final)
 }

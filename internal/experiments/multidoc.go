@@ -1,0 +1,164 @@
+// C12: multi-document transaction cost. A MultiBatch spanning K
+// documents commits one atomic, singly-logged transaction where the
+// per-document route commits K independent batches — K WAL records
+// and, under per-commit fsync, K disk flushes. This experiment
+// measures what the single RecMulti record buys (and what the wider
+// lock footprint costs) as transaction throughput/latency against the
+// equivalent per-document batches, across document counts and writer
+// counts. Writers own disjoint document sets, so the numbers isolate
+// transaction shape from name contention.
+
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"xmldyn/internal/repo"
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// C12MultiDoc commits `txns` transactions per writer, each touching
+// `docs` documents with `batchSize` appends per document — once as
+// one MultiBatch and once as the equivalent sequence of per-document
+// Batches — for 1 and 4 concurrent writers, and reports mean
+// transaction latency and throughput. Each run uses a fresh temporary
+// directory that is removed afterwards. Only the multi mode is
+// atomic across documents; per-doc is the baseline an application
+// without MultiBatch would run.
+func C12MultiDoc(txns, batchSize int) (Table, error) {
+	t := Table{
+		ID:      "C12",
+		Claim:   "one multi-document transaction outpaces K per-document commits (single record, single fsync)",
+		Headers: []string{"mode", "docs", "writers", "txns", "total ms", "µs/txn", "txn/s"},
+	}
+	for _, docs := range []int{2, 4} {
+		for _, writers := range []int{1, 4} {
+			for _, multi := range []bool{true, false} {
+				elapsed, err := runC12(multi, docs, writers, txns, batchSize)
+				if err != nil {
+					return t, err
+				}
+				total := writers * txns
+				mode := "per-doc"
+				if multi {
+					mode = "multi"
+				}
+				t.Rows = append(t.Rows, []string{
+					mode,
+					fmt.Sprintf("%d", docs),
+					fmt.Sprintf("%d", writers),
+					fmt.Sprintf("%d", total),
+					fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/1000),
+					fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/float64(total)),
+					fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("each transaction touches all of a writer's documents with %d appends per document", batchSize),
+		"multi: one MultiBatch — atomic across documents, ONE RecMulti record, one per-commit fsync",
+		"per-doc: K independent Batch commits — K records, K fsyncs, no cross-document atomicity",
+		"writers own disjoint document sets; per-commit fsync policy throughout")
+	return t, nil
+}
+
+// runC12 times one mode/docs/writers combination.
+func runC12(multi bool, docs, writers, txns, batchSize int) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "xmldyn-c12-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	d, err := repo.OpenDurable(dir, repo.DurableOptions{})
+	if err != nil {
+		return 0, err
+	}
+	defer d.Close()
+	names := make([][]string, writers)
+	for w := 0; w < writers; w++ {
+		for k := 0; k < docs; k++ {
+			name := fmt.Sprintf("doc%d-%d", w, k)
+			doc, err := xmltree.ParseString("<r><seed/></r>")
+			if err != nil {
+				return 0, err
+			}
+			if err := d.Open(name, doc, "qed"); err != nil {
+				return 0, err
+			}
+			names[w] = append(names[w], name)
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(w, c int, err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("writer %d txn %d: %w", w, c, err)
+		}
+		mu.Unlock()
+	}
+	appendOps := func(md *repo.MultiDoc) {
+		root := md.Document().Root()
+		for i := 0; i < batchSize; i++ {
+			md.Batch().AppendChild(root, "item")
+		}
+		// Trim so the tree — and the per-batch verification walk —
+		// stays at steady state instead of growing with txns.
+		if kids := root.Children(); len(kids) > 64 {
+			for i := 0; i < batchSize; i++ {
+				md.Batch().Delete(kids[i])
+			}
+		}
+	}
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := names[w]
+			for c := 0; c < txns; c++ {
+				if multi {
+					_, err := d.MultiBatch(mine, func(m map[string]*repo.MultiDoc) error {
+						for _, md := range m {
+							appendOps(md)
+						}
+						return nil
+					})
+					if err != nil {
+						fail(w, c, err)
+						return
+					}
+					continue
+				}
+				for _, name := range mine {
+					_, err := d.Batch(name, func(doc *xmltree.Document, b *update.Batch) error {
+						root := doc.Root()
+						for i := 0; i < batchSize; i++ {
+							b.AppendChild(root, "item")
+						}
+						if kids := root.Children(); len(kids) > 64 {
+							for i := 0; i < batchSize; i++ {
+								b.Delete(kids[i])
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						fail(w, c, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start), firstErr
+}

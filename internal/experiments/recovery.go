@@ -109,8 +109,8 @@ func runC11(mode string, opts repo.DurableOptions, commits, batchSize int) ([]st
 		return nil, fmt.Errorf("%s recovery: %w", mode, err)
 	}
 	elapsed := time.Since(start)
-	liveBytes := recovered.LogSize()
-	first, active := recovered.SegmentRange()
+	liveBytes, _ := recovered.LogSize()
+	first, active, _ := recovered.SegmentRange()
 	if err := recovered.Close(); err != nil {
 		return nil, err
 	}

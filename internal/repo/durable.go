@@ -24,7 +24,12 @@
 //	doc.mu    per-document writer serialisation, as in Repository;
 //	          batch records are appended while it is held, so per-
 //	          document log order equals commit order (the log file
-//	          itself serialises cross-document writes internally)
+//	          itself serialises cross-document writes internally).
+//	          MultiBatch holds SEVERAL doc.mu at once, always acquired
+//	          in sorted-name order — the same single global order Save
+//	          uses — so multi-document writers cannot deadlock against
+//	          each other, against Save, or against single-document
+//	          writers (which hold at most one)
 //	walMu     serialises registry records (Open/Drop), whose
 //	          check-append-register sequence must be atomic, and
 //	          guards the sticky WAL failure
@@ -78,6 +83,12 @@ const (
 	RecBatch byte = 2
 	// RecDrop logs a document removal by name.
 	RecDrop byte = 3
+	// RecMulti logs one atomic multi-document transaction: a document
+	// count, then per document its name and a length-prefixed op
+	// encoding. Being a single record is what makes crash atomicity
+	// free by construction — it is either wholly in the log or torn
+	// off the tail, never partially replayed.
+	RecMulti byte = 4
 )
 
 // DefaultAutoCheckpointBytes is the auto-checkpoint threshold used
@@ -284,7 +295,7 @@ func (d *DurableRepository) autoCheckpointLoop() {
 			return
 		case <-d.ckptWake:
 		}
-		if d.LogSize() < threshold {
+		if size, ok := d.LogSize(); !ok || size < threshold {
 			continue
 		}
 		err := d.Checkpoint()
@@ -319,6 +330,9 @@ func (d *DurableRepository) applyRecord(payload []byte) error {
 		return fmt.Errorf("empty record")
 	}
 	rec, body := payload[0], payload[1:]
+	if rec == RecMulti {
+		return d.applyMultiRecord(body)
+	}
 	name, pos, err := readRecordString(body)
 	if err != nil {
 		return err
@@ -360,6 +374,70 @@ func (d *DurableRepository) applyRecord(payload []byte) error {
 	default:
 		return fmt.Errorf("unknown record type %d", rec)
 	}
+}
+
+// applyMultiRecord replays one RecMulti payload all-or-nothing: every
+// part's op program is decoded against its document's pre-transaction
+// tree before any document is touched, then the parts apply document
+// by document with staged rollbacks — a record that cannot fully
+// apply rolls back whatever prefix landed and surfaces the error
+// (which aborts recovery: a multi record the state cannot follow
+// means corruption, exactly as for RecBatch).
+func (d *DurableRepository) applyMultiRecord(body []byte) error {
+	count, pos, err := labels.DecodeLEB128(body)
+	if err != nil {
+		return fmt.Errorf("multi record count: %v", err)
+	}
+	// Each part costs at least a name byte pair and an ops length, so
+	// bounding by len/3 rejects a crafted count before it pre-sizes
+	// the slices below.
+	if count > uint64(len(body))/3 {
+		return fmt.Errorf("implausible multi record count %d", count)
+	}
+	held := make([]*Doc, 0, count)
+	m := make(map[string]*MultiDoc, count)
+	for i := uint64(0); i < count; i++ {
+		name, next, err := labels.CutString(body, pos)
+		if err != nil {
+			return fmt.Errorf("multi record part %d name: %v", i, err)
+		}
+		pos = next
+		n, sz, err := labels.DecodeLEB128(body[pos:])
+		if err != nil {
+			return fmt.Errorf("multi record part %d length: %v", i, err)
+		}
+		pos += sz
+		if n > uint64(len(body)-pos) {
+			return fmt.Errorf("multi record part %d overruns the payload", i)
+		}
+		enc := body[pos : pos+int(n)]
+		pos += int(n)
+		if _, dup := m[name]; dup {
+			return fmt.Errorf("multi record names %q twice", name)
+		}
+		doc, ok := d.repo.Get(name)
+		if !ok {
+			// Cannot happen in a well-formed log, for the same reason
+			// as RecBatch: MultiBatch re-checks membership under every
+			// involved document's write lock.
+			return fmt.Errorf("multi batch for unknown document %q", name)
+		}
+		ops, err := update.DecodeOps(doc.sess.Document(), enc)
+		if err != nil {
+			return fmt.Errorf("multi record part %d (%q): %w", i, name, err)
+		}
+		b := doc.sess.Batch()
+		for _, op := range ops {
+			b.Add(op)
+		}
+		held = append(held, doc)
+		m[name] = &MultiDoc{doc: doc, b: b}
+	}
+	if pos != len(body) {
+		return fmt.Errorf("multi record has %d trailing bytes", len(body)-pos)
+	}
+	_, err = applyMulti(held, m, false)
+	return err
 }
 
 // --- mutations ---------------------------------------------------------------
@@ -408,17 +486,32 @@ func (d *DurableRepository) Drop(name string) (bool, error) {
 	if d.closed {
 		return false, ErrClosed
 	}
-	doc, ok := d.repo.Get(name)
-	if !ok {
-		return false, nil
+	for {
+		doc, ok := d.repo.Get(name)
+		if !ok {
+			return false, nil
+		}
+		// Hold the document's write lock across the append so no batch
+		// on this document can slip its record after the drop record.
+		doc.mu.Lock()
+		if cur, ok := d.repo.Get(name); !ok || cur != doc {
+			// The slot changed between lookup and lock — dropped, or
+			// dropped and reopened under the same name. Retry against
+			// the live name space: reporting "did not exist" here
+			// would silently skip a live document that holds the name.
+			doc.mu.Unlock()
+			continue
+		}
+		ok, err := d.dropLocked(name)
+		doc.mu.Unlock()
+		return ok, err
 	}
-	// Hold the document's write lock across the append so no batch on
-	// this document can slip its record after the drop record.
-	doc.mu.Lock()
-	defer doc.mu.Unlock()
-	if cur, ok := d.repo.Get(name); !ok || cur != doc {
-		return false, nil
-	}
+}
+
+// dropLocked appends the drop record and removes the document. The
+// caller holds the document's write lock and has verified the slot is
+// current.
+func (d *DurableRepository) dropLocked(name string) (bool, error) {
 	d.walMu.Lock()
 	defer d.walMu.Unlock()
 	if err := d.checkFailed(); err != nil {
@@ -450,15 +543,16 @@ func (d *DurableRepository) Batch(name string, build func(*xmltree.Document, *up
 	if d.closed {
 		return nil, ErrClosed
 	}
-	doc, ok := d.repo.Get(name)
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	// lockLiveSorted re-checks the slot under the lock and retries if
+	// it was concurrently dropped and reopened under the same name —
+	// the commit then lands on the live document instead of failing
+	// with a spurious ErrNotFound.
+	held, err := d.lockLiveSorted([]string{name})
+	if err != nil {
+		return nil, err
 	}
-	doc.mu.Lock()
+	doc := held[0]
 	defer doc.mu.Unlock()
-	if cur, ok := d.repo.Get(name); !ok || cur != doc {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
 	if err := d.checkFailedLocked(); err != nil {
 		return nil, err
 	}
@@ -491,13 +585,7 @@ func (d *DurableRepository) Batch(name string, build func(*xmltree.Document, *up
 		return nil, d.poisonLocked(aerr)
 	}
 	d.nudgeAutoCheckpoint()
-	out := &update.BatchResult{New: make([]*xmltree.Node, len(res.New))}
-	for i, n := range res.New {
-		if n != nil {
-			out.New[i] = n.Clone()
-		}
-	}
-	return out, nil
+	return cloneResult(res), nil
 }
 
 // Update commits pre-built ops against the named document as one
@@ -511,6 +599,119 @@ func (d *DurableRepository) Update(name string, ops ...update.Op) (*update.Batch
 		}
 		return nil
 	})
+}
+
+// MultiBatch commits one atomic logged transaction across the named
+// documents, with Repository.MultiBatch's semantics — build queues
+// ops per document, every involved document is write-locked in
+// sorted-name order, the per-document batches apply with staged
+// rollbacks so the transaction commits everywhere or nowhere — plus
+// durability: the whole transaction is appended as ONE RecMulti
+// record (each document's ops serialised against its pre-transaction
+// tree, before any document is touched), so a crash either preserves
+// the entire transaction or tears the entire record off the log tail;
+// recovery can never replay a subset of the involved documents.
+//
+// On an apply failure nothing is logged and every document is rolled
+// back. On an append failure the transaction is applied in memory but
+// not durable, and the repository is poisoned exactly as Batch is
+// (ErrWALFailed; checkpoint to recover). As in Batch, build receives
+// trees, not sessions: every mutation must be a queued op so it is
+// logged, and a cross-document move is a Delete plus a graft of a
+// detached copy (Node.Clone) — a node object belongs to one tree.
+func (d *DurableRepository) MultiBatch(names []string, build func(map[string]*MultiDoc) error) (map[string]*update.BatchResult, error) {
+	d.commitMu.RLock()
+	defer d.commitMu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	held, err := d.lockLiveSorted(names)
+	if err != nil {
+		return nil, err
+	}
+	defer unlockDocs(held)
+	if err := d.checkFailedLocked(); err != nil {
+		return nil, err
+	}
+	m := multiDocs(held)
+	if err := build(m); err != nil {
+		return nil, err
+	}
+	// Serialise every document's ops against its pre-transaction tree
+	// before any tree is touched, assembling the single multi record:
+	// type byte, part count, then per part name + length-prefixed ops.
+	var body []byte
+	parts := 0
+	for _, doc := range held {
+		md := m[doc.name]
+		if md.b.Len() == 0 {
+			continue
+		}
+		enc, err := update.EncodeOps(doc.sess.Document(), md.b.Ops())
+		if err != nil {
+			return nil, err
+		}
+		body = appendRecordString(body, doc.name)
+		body = append(body, labels.EncodeLEB128(uint64(len(enc)))...)
+		body = append(body, enc...)
+		parts++
+	}
+	out, err := applyMulti(held, m, true)
+	if err != nil {
+		if errors.Is(err, update.ErrRollback) {
+			// A rollback itself failed: some document's in-memory tree
+			// no longer matches what replaying the (record-free) log
+			// produces, and the next encoded batch would address the
+			// diverged tree. Poison so the divergence cannot widen; a
+			// checkpoint re-captures full memory state and recovers.
+			return nil, d.poisonLocked(err)
+		}
+		return nil, err
+	}
+	if parts == 0 {
+		return out, nil // nothing was queued; nothing to log
+	}
+	payload := append([]byte{RecMulti}, labels.EncodeLEB128(uint64(parts))...)
+	payload = append(payload, body...)
+	// As in Batch, no walMu: the held doc.mu set fixes these documents'
+	// record order, and the log serialises writes internally.
+	if aerr := d.log.Append(payload); aerr != nil {
+		return nil, d.poisonLocked(aerr)
+	}
+	d.nudgeAutoCheckpoint()
+	return out, nil
+}
+
+// lockLiveSorted write-locks the named documents in sorted-name order
+// (duplicates collapsed) and re-checks, under each lock, that the
+// locked slot is still the one serving its name. A slot swapped
+// between lookup and lock (dropped, or dropped and reopened under the
+// same name) releases everything and retries against the live name
+// space — a plain drop then surfaces as ErrNotFound on the retry.
+func (d *DurableRepository) lockLiveSorted(names []string) ([]*Doc, error) {
+	uniq := sortedUnique(names)
+	for {
+		held := make([]*Doc, 0, len(uniq))
+		for _, name := range uniq {
+			doc, ok := d.repo.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+			}
+			held = append(held, doc)
+		}
+		stale := false
+		for i, doc := range held {
+			doc.mu.Lock()
+			if cur, ok := d.repo.Get(uniq[i]); !ok || cur != doc {
+				unlockDocs(held[:i+1])
+				stale = true
+				break
+			}
+		}
+		if !stale {
+			return held, nil
+		}
+	}
 }
 
 // checkFailed refuses commits after a WAL append failure. The caller
@@ -599,26 +800,30 @@ func (d *DurableRepository) Generation() uint64 {
 
 // LogSize returns the live write-ahead-log bytes across every segment
 // — the recovery-cost signal the auto-checkpointer watches, also
-// available to callers that checkpoint manually by log growth.
-func (d *DurableRepository) LogSize() int64 {
+// available to callers that checkpoint manually by log growth. ok is
+// false on a closed repository: there is no live log to measure, and
+// a zero must not be misread as "empty log" (docs/OPERATIONS.md).
+func (d *DurableRepository) LogSize() (size int64, ok bool) {
 	d.commitMu.RLock()
 	defer d.commitMu.RUnlock()
 	if d.closed {
-		return 0
+		return 0, false
 	}
-	return d.log.LiveBytes()
+	return d.log.LiveBytes(), true
 }
 
 // SegmentRange returns the first live and the active (append) WAL
 // segment indices; the live set is every segment in between,
-// inclusive. First advances at checkpoints, active at rotations.
-func (d *DurableRepository) SegmentRange() (first, active uint64) {
+// inclusive. First advances at checkpoints, active at rotations. ok
+// is false on a closed repository: the indices are meaningless then,
+// not a collapsed one-segment range.
+func (d *DurableRepository) SegmentRange() (first, active uint64, ok bool) {
 	d.commitMu.RLock()
 	defer d.commitMu.RUnlock()
 	if d.closed {
-		return d.walFirst, d.walFirst
+		return 0, 0, false
 	}
-	return d.walFirst, d.log.ActiveIndex()
+	return d.walFirst, d.log.ActiveIndex(), true
 }
 
 // AutoCheckpoints reports how many background checkpoints have
@@ -669,15 +874,48 @@ func (d *DurableRepository) Checkpoint() error {
 	newGen := d.gen + 1
 	newFirst := d.log.ActiveIndex() + 1
 	snapName := snapshotFileName(newGen)
-	if err := store.WriteFileAtomic(filepath.Join(d.dir, snapName), data); err != nil {
+	snapPath := filepath.Join(d.dir, snapName)
+	if err := store.WriteFileAtomic(snapPath, data); err != nil {
 		return err
 	}
 	newLog, err := wal.Create(d.dir, newFirst, d.opts.walOptions())
 	if err != nil {
+		// Remove the snapshot this failed attempt wrote: a repeatedly
+		// failing checkpoint must not accumulate one orphan per try
+		// until the next OpenDurable sweeps them.
+		_ = os.Remove(snapPath)
 		return err
 	}
 	if err := store.WriteManifest(d.dir, store.Manifest{Gen: newGen, Snapshot: snapName, WALFirst: newFirst}); err != nil {
 		newLog.Close()
+		// The switch may have landed even though WriteManifest errored
+		// (its rename can succeed and only the directory fsync fail),
+		// so re-read the manifest to learn which generation is current
+		// before cleaning up — deleting files a switched manifest
+		// points at would corrupt the repository to fix a leak.
+		if man, rerr := store.ReadManifest(d.dir); rerr == nil && man.Gen == d.gen {
+			// The switch did not land: this attempt's snapshot and
+			// fresh segment are orphans; remove them so a repeatedly
+			// failing checkpoint does not accumulate garbage.
+			_ = os.Remove(filepath.Join(d.dir, wal.SegmentName(newFirst)))
+			_ = os.Remove(snapPath)
+			return err
+		}
+		// The switch landed (or the manifest state is unknowable) while
+		// the in-memory repository still points at the old generation,
+		// whose segments a recovery under the new manifest would never
+		// replay. Committing would fsync records into retired files and
+		// silently lose them at the next crash — poison instead, and
+		// leave every file in place: a retried Checkpoint recomputes
+		// the same generation and first-segment index, so it converges
+		// on (re)writing the same snapshot/segment/manifest and clears
+		// the poison; until then recovery is correct under either
+		// manifest (old: its snapshot and segments are all still
+		// present; new: the new pair is complete and the old files are
+		// orphans).
+		d.walMu.Lock()
+		d.failed = fmt.Errorf("checkpoint manifest switch in doubt: %v", err)
+		d.walMu.Unlock()
 		return err
 	}
 	// The new generation is current: retire the old one. Close errors

@@ -198,20 +198,20 @@ func TestCheckpointTruncatesLogAndSurvivesReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	seedAndBatch(t, d, 8)
-	grownLog := d.LogSize()
+	grownLog, _ := d.LogSize()
 	if err := d.Checkpoint(); err != nil {
 		t.Fatalf("checkpoint: %v", err)
 	}
 	if d.Generation() != 2 {
 		t.Fatalf("generation = %d, want 2", d.Generation())
 	}
-	if size := d.LogSize(); size >= grownLog || size != int64(wal.HeaderSize) {
+	if size, ok := d.LogSize(); !ok || size >= grownLog || size != int64(wal.HeaderSize) {
 		t.Fatalf("log size after checkpoint = %d, want bare header %d", size, wal.HeaderSize)
 	}
 	if _, err := os.Stat(filepath.Join(dir, wal.SegmentName(1))); !os.IsNotExist(err) {
 		t.Fatalf("old wal segment still present: %v", err)
 	}
-	if first, active := d.SegmentRange(); first != 2 || active != 2 {
+	if first, active, ok := d.SegmentRange(); !ok || first != 2 || active != 2 {
 		t.Fatalf("segment range = [%d..%d], want [2..2]", first, active)
 	}
 	// Post-checkpoint commits land in the new log.
@@ -290,7 +290,7 @@ func TestKillDuringCheckpoint(t *testing.T) {
 	}
 	// The fresh segment is NOT an orphan: it is contiguous with the
 	// live set and recovery adopts it as the empty append tail.
-	if first, active := recovered.SegmentRange(); first != 1 || active != 2 {
+	if first, active, ok := recovered.SegmentRange(); !ok || first != 1 || active != 2 {
 		t.Fatalf("segment range = [%d..%d], want [1..2] (crashed checkpoint's segment adopted)", first, active)
 	}
 
@@ -396,7 +396,7 @@ func TestFailedBatchLogsNothing(t *testing.T) {
 	}
 	seedAndBatch(t, d, 3)
 	want := docTable(t, d, "books")
-	size := d.LogSize()
+	size, _ := d.LogSize()
 	_, err = d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
 		b.AppendChild(doc.Root(), "ok")
 		b.Delete(xmltree.NewElement("detached")) // fails validation
@@ -405,7 +405,7 @@ func TestFailedBatchLogsNothing(t *testing.T) {
 	if err == nil {
 		t.Fatal("invalid batch committed")
 	}
-	if d.LogSize() != size {
+	if after, _ := d.LogSize(); after != size {
 		t.Fatal("failed batch appended a record")
 	}
 	if got := docTable(t, d, "books"); !reflect.DeepEqual(got, want) {
@@ -493,7 +493,7 @@ func TestMultiSegmentReplayTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	seedAndBatch(t, d, 20)
-	if _, active := d.SegmentRange(); active < 3 {
+	if _, active, _ := d.SegmentRange(); active < 3 {
 		t.Fatalf("active segment = %d, want ≥3 segments for this test", active)
 	}
 	wantBooks := docTable(t, d, "books")
@@ -505,7 +505,7 @@ func TestMultiSegmentReplayTornTail(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	_, active := d.SegmentRange()
+	_, active, _ := d.SegmentRange()
 	last := filepath.Join(dir, wal.SegmentName(active))
 	st, err := os.Stat(last)
 	if err != nil {
@@ -526,7 +526,7 @@ func TestMultiSegmentReplayTornTail(t *testing.T) {
 	if got := docTable(t, recovered, "feeds"); !reflect.DeepEqual(got, wantFeeds) {
 		t.Fatalf("multi-segment recovery diverged (feeds):\n got %v\nwant %v", got, wantFeeds)
 	}
-	if first, _ := recovered.SegmentRange(); first != 1 {
+	if first, _, _ := recovered.SegmentRange(); first != 1 {
 		t.Fatalf("first live segment = %d, want 1 (no checkpoint ran)", first)
 	}
 	// The torn tail was truncated: appends resume and survive another
@@ -552,7 +552,7 @@ func TestCrashDuringRotation(t *testing.T) {
 	}
 	seedAndBatch(t, d, 12)
 	want := docTable(t, d, "books")
-	_, active := d.SegmentRange()
+	_, active, _ := d.SegmentRange()
 	// Crash mid-rotation: the new segment file is created (synced
 	// header, synced directory) exactly as Log.Rotate does, but no
 	// record ever lands in it.
@@ -570,7 +570,7 @@ func TestCrashDuringRotation(t *testing.T) {
 	if got := docTable(t, recovered, "books"); !reflect.DeepEqual(got, want) {
 		t.Fatalf("crashed-rotation recovery diverged:\n got %v\nwant %v", got, want)
 	}
-	if first, act := recovered.SegmentRange(); first != 1 || act != active+1 {
+	if first, act, _ := recovered.SegmentRange(); first != 1 || act != active+1 {
 		t.Fatalf("segment range = [%d..%d], want [1..%d] (empty segment adopted as tail)", first, act, active+1)
 	}
 	if _, err := recovered.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
@@ -619,7 +619,7 @@ func TestAutoCheckpointFires(t *testing.T) {
 	if gen := d.Generation(); gen < 3 {
 		t.Fatalf("generation = %d, want ≥3 after ≥2 auto-checkpoints", gen)
 	}
-	first, _ := d.SegmentRange()
+	first, _, _ := d.SegmentRange()
 	if first < 2 {
 		t.Fatalf("first live segment = %d, want >1 after checkpoints", first)
 	}
@@ -662,7 +662,7 @@ func TestKillDuringCheckpointWithUnsyncedTail(t *testing.T) {
 	seedAndBatch(t, d, 6)
 	want := docTable(t, d, "books")
 	wantFeeds := docTable(t, d, "feeds")
-	_, active := d.SegmentRange()
+	_, active, _ := d.SegmentRange()
 	// Simulate the unsynced tail a poisoned/async log would leave: raw
 	// garbage (a torn half-frame) appended straight to the file.
 	f, err := os.OpenFile(filepath.Join(dir, wal.SegmentName(active)), os.O_WRONLY|os.O_APPEND, 0o644)
@@ -739,7 +739,7 @@ func TestKillDuringAutoCheckpoint(t *testing.T) {
 	}
 	want := docXML(t, d, "books")
 	gen := d.Generation()
-	_, active := d.SegmentRange()
+	_, active, _ := d.SegmentRange()
 	data, err := d.repo.Save()
 	if err != nil {
 		t.Fatal(err)
@@ -776,7 +776,7 @@ func TestKillDuringAutoCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first2, active2 := rec.SegmentRange()
+	first2, active2, _ := rec.SegmentRange()
 	newFirst := active2 + 1
 	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(gen+1)), data2); err != nil {
 		t.Fatal(err)

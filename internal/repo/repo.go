@@ -267,6 +267,160 @@ func (r *Repository) Batch(name string, ops []update.Op) (*update.BatchResult, e
 	return d.Batch(ops)
 }
 
+// MultiDoc is one document's handle inside a MultiBatch transaction:
+// the live tree for navigating to reference nodes, and the batch that
+// queues the document's ops. Every mutation must be expressed as a
+// queued op — the session is deliberately not exposed, so a durable
+// MultiBatch cannot commit an unlogged change.
+type MultiDoc struct {
+	doc *Doc
+	b   *update.Batch
+}
+
+// Name returns the document's repository name.
+func (m *MultiDoc) Name() string { return m.doc.name }
+
+// Document returns the live tree, for navigation only: mutate it
+// exclusively through ops queued on Batch.
+func (m *MultiDoc) Document() *xmltree.Document { return m.doc.sess.Document() }
+
+// Batch returns the batch queuing this document's ops.
+func (m *MultiDoc) Batch() *update.Batch { return m.b }
+
+// MultiBatch commits one atomic transaction across the named
+// documents: build receives a map from each (deduplicated) name to
+// its MultiDoc and queues ops per document; the transaction then
+// applies document by document, each document's ops as one batch with
+// the usual pre-validation, rollback and order verification. If any
+// document's batch fails, every document already applied is rolled
+// back to its pre-transaction state, so the transaction commits
+// everywhere or nowhere.
+//
+// All involved documents are write-locked for the duration, acquired
+// in sorted-name order — the same single global order Save uses — so
+// concurrent MultiBatches, Saves and single-document writers (which
+// hold at most one lock) cannot deadlock. A node object belongs to
+// one tree: moving content between documents is expressed as a Delete
+// in the source document plus a subtree graft of a detached copy
+// (Node.Clone) in the destination. build must not call back into the
+// repository (see the package doc on re-entrancy).
+//
+// The results map one entry per name; created nodes are detached deep
+// copies, as in Batch.
+func (r *Repository) MultiBatch(names []string, build func(map[string]*MultiDoc) error) (map[string]*update.BatchResult, error) {
+	held, err := r.lockSorted(names)
+	if err != nil {
+		return nil, err
+	}
+	defer unlockDocs(held)
+	m := multiDocs(held)
+	if err := build(m); err != nil {
+		return nil, err
+	}
+	return applyMulti(held, m, true)
+}
+
+// lockSorted write-locks the named documents in sorted-name order
+// (duplicates collapsed), failing without holding any lock if a name
+// is unknown.
+func (r *Repository) lockSorted(names []string) ([]*Doc, error) {
+	uniq := sortedUnique(names)
+	held := make([]*Doc, 0, len(uniq))
+	for _, name := range uniq {
+		d, ok := r.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		held = append(held, d)
+	}
+	for _, d := range held {
+		d.mu.Lock()
+	}
+	return held, nil
+}
+
+func unlockDocs(held []*Doc) {
+	for _, d := range held {
+		d.mu.Unlock()
+	}
+}
+
+// sortedUnique returns names sorted with duplicates collapsed.
+func sortedUnique(names []string) []string {
+	uniq := append([]string(nil), names...)
+	sort.Strings(uniq)
+	out := uniq[:0]
+	for i, name := range uniq {
+		if i == 0 || name != uniq[i-1] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// multiDocs binds a fresh batch to each held document.
+func multiDocs(held []*Doc) map[string]*MultiDoc {
+	m := make(map[string]*MultiDoc, len(held))
+	for _, d := range held {
+		m[d.name] = &MultiDoc{doc: d, b: d.sess.Batch()}
+	}
+	return m
+}
+
+// applyMulti commits each held document's queued batch in order, all
+// locks held, rolling every already-applied document back if a later
+// one fails. With wantResults, the results carry detached clones of
+// created nodes; replay passes false and skips the deep copies it
+// would only discard.
+func applyMulti(held []*Doc, m map[string]*MultiDoc, wantResults bool) (map[string]*update.BatchResult, error) {
+	out := make(map[string]*update.BatchResult, len(held))
+	var applied []*Doc
+	var undo []func() error
+	fail := func(name string, err error) error {
+		err = fmt.Errorf("repo: multibatch %q: %w", name, err)
+		for i := len(undo) - 1; i >= 0; i-- {
+			if rbErr := undo[i](); rbErr != nil {
+				// Keep unwinding — the other documents' rollbacks are
+				// independent and restoring them is strictly better —
+				// but surface the failure (wrapping ErrRollback): THIS
+				// document is partially restored and should be rebuilt
+				// from a snapshot.
+				err = fmt.Errorf("repo: multibatch rollback of %q: %w (after %w)", applied[i].name, rbErr, err)
+			}
+		}
+		return err
+	}
+	for _, d := range held {
+		md := m[d.name]
+		if md.b.Len() == 0 {
+			out[d.name] = &update.BatchResult{}
+			continue
+		}
+		res, rollback, err := d.sess.ApplyStaged(md.b.Ops())
+		if err != nil {
+			return nil, fail(d.name, err)
+		}
+		applied = append(applied, d)
+		undo = append(undo, rollback)
+		if wantResults {
+			out[d.name] = cloneResult(res)
+		}
+	}
+	return out, nil
+}
+
+// cloneResult detaches a BatchResult's created nodes (the live tree
+// must only be touched under its lock, which the caller releases).
+func cloneResult(res *update.BatchResult) *update.BatchResult {
+	out := &update.BatchResult{New: make([]*xmltree.Node, len(res.New))}
+	for i, n := range res.New {
+		if n != nil {
+			out.New[i] = n.Clone()
+		}
+	}
+	return out
+}
+
 // Query evaluates a location path against the named document under the
 // read lock, returning detached deep copies of the matches (safe to
 // use after the lock is released; see Doc.Query).
@@ -371,13 +525,7 @@ func (d *Doc) Batch(ops []update.Op) (*update.BatchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &update.BatchResult{New: make([]*xmltree.Node, len(res.New))}
-	for i, n := range res.New {
-		if n != nil {
-			out.New[i] = n.Clone()
-		}
-	}
-	return out, nil
+	return cloneResult(res), nil
 }
 
 // Query evaluates a location path under the read lock using structural

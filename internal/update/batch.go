@@ -263,23 +263,39 @@ func (b *Batch) Commit() (*BatchResult, error) {
 // would have checked once per op. On any mid-batch failure the applied
 // prefix is rolled back in reverse order.
 func (s *Session) Apply(ops []Op) (*BatchResult, error) {
+	res, _, err := s.ApplyStaged(ops)
+	return res, err
+}
+
+// ApplyStaged commits ops exactly as Apply does, but also returns a
+// rollback closure that undoes the whole committed batch — structure,
+// labels and counters — restoring the pre-batch state. It exists for
+// cross-document transactions (the repository's MultiBatch): a
+// coordinator applies one document's batch, holds the rollback, and
+// runs it if a later document's batch fails, so the transaction
+// commits everywhere or nowhere. The closure is non-nil iff err is
+// nil; it must run before any further mutation of the document (it
+// replays the undo log against the exact post-batch state) and at
+// most once. A rollback error wraps ErrRollback: the document is
+// partially restored and should be rebuilt from a snapshot.
+func (s *Session) ApplyStaged(ops []Op) (*BatchResult, func() error, error) {
 	res := &BatchResult{New: make([]*xmltree.Node, len(ops))}
 	if len(ops) == 0 {
-		return res, nil
+		return res, func() error { return nil }, nil
 	}
 	if err := s.validateBatch(ops); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s.inBatch = true
 	defer func() { s.inBatch = false }()
 	var undo []func() error
-	fail := func(err error) (*BatchResult, error) {
+	fail := func(err error) (*BatchResult, func() error, error) {
 		if rbErr := s.rollback(undo); rbErr != nil {
 			// Keep both chains matchable: the rollback failure and the
 			// op error that triggered it.
-			return nil, fmt.Errorf("%w (after %w)", rbErr, err)
+			return nil, nil, fmt.Errorf("%w (after %w)", rbErr, err)
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	for i := range ops {
 		n, u, err := s.applyOp(&ops[i])
@@ -301,7 +317,15 @@ func (s *Session) Apply(ops []Op) (*BatchResult, error) {
 	}
 	s.ctr.Operations++
 	s.ctr.Batches++
-	return res, nil
+	rollback := func() error {
+		if err := s.rollback(undo); err != nil {
+			return err
+		}
+		s.ctr.Operations--
+		s.ctr.Batches--
+		return nil
+	}
+	return res, rollback, nil
 }
 
 // validateBatch rejects statically invalid batches before any mutation.

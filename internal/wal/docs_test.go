@@ -60,6 +60,7 @@ func TestDurabilityDocConstants(t *testing.T) {
 		"repo.RecOpen":                    fmt.Sprint(repo.RecOpen),
 		"repo.RecBatch":                   fmt.Sprint(repo.RecBatch),
 		"repo.RecDrop":                    fmt.Sprint(repo.RecDrop),
+		"repo.RecMulti":                   fmt.Sprint(repo.RecMulti),
 		"update.SubtreeInline":            fmt.Sprint(update.SubtreeInline),
 		"update.SubtreeBackref":           fmt.Sprint(update.SubtreeBackref),
 		"update.OpInsertBefore":           fmt.Sprint(int(update.OpInsertBefore)),

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Regenerates BENCH_repo.json: the repository/batching/durability perf
 # trajectory. Besides the Go benchmarks (including BenchmarkRecovery,
-# the crash-recovery timing), it runs the C11 recovery experiment and
-# folds its rows in, so recovery-time-vs-history numbers are tracked
+# the crash-recovery timing, and BenchmarkMultiBatch, the
+# multi-document transaction cost), it runs the C11 recovery and C12
+# multi-document experiments and folds their rows in, so
+# recovery-time-vs-history and multi-vs-per-doc numbers are tracked
 # across PRs too. Run from the repo root:
 #
 #	sh scripts/bench_repo.sh
@@ -17,9 +19,17 @@ c11=$(go run ./cmd/xbench -exp C11 -quick -csv | awk -F, '
 		sep = ",\n"
 	}')
 
-go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit|BenchmarkRecovery' \
+# C12: multi-document transaction throughput/latency vs equivalent
+# per-document batches (CSV: mode,docs,writers,txns,total ms,µs/txn,txn/s).
+c12=$(go run ./cmd/xbench -exp C12 -quick -csv | awk -F, '
+	NR > 1 {
+		printf "%s    {\"mode\": \"%s\", \"docs\": %s, \"writers\": %s, \"txns\": %s, \"total_ms\": %s, \"us_per_txn\": %s, \"txn_per_s\": %s}", sep, $1, $2, $3, $4, $5, $6, $7
+		sep = ",\n"
+	}')
+
+go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit|BenchmarkRecovery|BenchmarkMultiBatch' \
 	-benchmem -benchtime 1s . |
-	awk -v c11="$c11" '
+	awk -v c11="$c11" -v c12="$c12" '
 	/^goos:/    { goos = $2 }
 	/^goarch:/  { goarch = $2 }
 	/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
@@ -32,6 +42,7 @@ go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|Benc
 	END {
 		printf "\n  ],\n"
 		printf "  \"c11_recovery\": [\n%s\n  ],\n", c11
+		printf "  \"c12_multidoc\": [\n%s\n  ],\n", c12
 		printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
 	}
 	BEGIN { printf "{\n  \"suite\": \"repo\",\n  \"benchmarks\": [\n" }

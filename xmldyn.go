@@ -17,13 +17,17 @@
 // On top of the single-document session sits a concurrent repository
 // layer (NewRepository): many named labelled documents behind sharded
 // locks, queries running in parallel with per-document-serialized
-// writers, and batched update transactions (Session.Batch, ApplyBatch)
-// that verify document order once per batch instead of once per op.
+// writers, batched update transactions (Session.Batch, ApplyBatch)
+// that verify document order once per batch instead of once per op,
+// and atomic multi-document transactions (MultiBatch) that commit
+// across several named documents or roll back across all of them.
 // SaveRepository/RestoreRepository round-trip the whole repository
 // through one checksummed container, and NewDurableRepository backs
 // the same layer with a write-ahead log: committed batches survive a
-// crash and replay to the identical state (docs/DURABILITY.md
-// specifies the on-disk format and recovery protocol).
+// crash and replay to the identical state, with a multi-document
+// transaction logged as one record so recovery is all-or-nothing too
+// (docs/DURABILITY.md specifies the on-disk format and recovery
+// protocol).
 //
 // Quick start:
 //
@@ -401,6 +405,15 @@ type (
 	RepoDoc = repo.Doc
 	// RepoOptions configures shard count and auto-verification.
 	RepoOptions = repo.Options
+	// MultiDoc is one document's handle inside a MultiBatch — an
+	// atomic transaction across several named documents: the build
+	// callback navigates Document() and queues ops on Batch(), every
+	// involved document is write-locked in sorted-name order, and the
+	// per-document batches commit everywhere or roll back everywhere.
+	// Both Repository.MultiBatch and DurableRepository.MultiBatch use
+	// it; the durable variant logs the whole transaction as one WAL
+	// record, so crash recovery is all-or-nothing too.
+	MultiDoc = repo.MultiDoc
 )
 
 // Repository errors re-exported for errors.Is.
