@@ -1,0 +1,203 @@
+package xmldyn
+
+// BenchmarkSnapshotRead: MVCC snapshot reads vs RWMutex-held reads
+// under background writer load — the microbenchmark twin of the C13
+// experiment (internal/experiments/snapshots.go), tracked in
+// BENCH_repo.json by scripts/bench_repo.sh. One benchmark op is a
+// fixed read workload — 100 read transactions of eight queries each
+// over two shared documents — so an op spans many scheduler quanta
+// and its cost is stable from the first timing round even while the
+// writers saturate the machine (per-transaction ops would let the
+// framework mis-extrapolate b.N from an unsaturated first round).
+// The mvcc mode pins one Snapshot per transaction and queries it with
+// no lock held; the rwmutex mode holds the document read lock for
+// every query and waits out the writer queue. Compare modes by ns/op:
+// same workload, same writer storm.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// sawtoothCommit is the benchmark writers' transaction: batches of 8
+// appends at the tail until the document reaches ~48 children, then
+// batches of 8 deletes of that same tail back down to ~16. Deleting
+// exactly the nodes the append phase created keeps the label space at
+// a fixed point — the algebra regenerates the identical labels each
+// cycle — where an append-at-tail/delete-at-front "steady state"
+// marches the label interval rightward forever and QED label lengths
+// (and so writer lock-hold times) grow without bound, which is the
+// paper's append-only degradation, not a benchmarkable steady state.
+func sawtoothCommit(s *Session) error {
+	root := s.Document().Root()
+	kids := root.Children()
+	bt := s.Batch()
+	if len(kids) > 48 {
+		for i := 0; i < 8; i++ {
+			bt.Delete(kids[len(kids)-1-i])
+		}
+	} else {
+		for i := 0; i < 8; i++ {
+			bt.AppendChild(root, "item")
+		}
+	}
+	_, err := bt.Commit()
+	return err
+}
+
+// BenchmarkSnapshotRead measures the fixed read workload's duration
+// for both read paths at 1, 4 and 16 continuously committing writers.
+func BenchmarkSnapshotRead(b *testing.B) {
+	const (
+		group = 8   // queries per read transaction
+		txns  = 100 // read transactions per benchmark op
+	)
+	names := []string{"a", "b"}
+	for _, writers := range []int{1, 4, 16} {
+		for _, mode := range []string{"mvcc", "rwmutex"} {
+			b.Run(fmt.Sprintf("%s/writers=%d", mode, writers), func(b *testing.B) {
+				r := NewRepository(RepoOptions{})
+				for _, name := range names {
+					doc, err := ParseString("<r><seed/></r>")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := r.Open(name, doc, "qed"); err != nil {
+						b.Fatal(err)
+					}
+				}
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				var commits atomic.Int64
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						name := names[w%len(names)]
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							d, _ := r.Get(name)
+							if err := d.Update(sawtoothCommit); err != nil {
+								b.Error(err)
+								return
+							}
+							commits.Add(1)
+						}
+					}(w)
+				}
+				// Wait until every writer has demonstrably committed:
+				// on a single-CPU box the freshly created goroutines do
+				// not run until the creator yields, and measuring even
+				// one timing round against an idle writer set makes the
+				// framework extrapolate b.N from uncontended reads.
+				for commits.Load() < int64(writers) {
+					runtime.Gosched()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for tx := 0; tx < txns; tx++ {
+						if mode == "mvcc" {
+							snap, err := r.Snapshot(names...)
+							if err != nil {
+								b.Fatal(err)
+							}
+							for q := 0; q < group; q++ {
+								if _, err := snap.Query(names[q%len(names)], "//item"); err != nil {
+									snap.Close()
+									b.Fatal(err)
+								}
+							}
+							snap.Close()
+							continue
+						}
+						for q := 0; q < group; q++ {
+							err := r.QueryFunc(names[q%len(names)], "//item", func([]*Node) error { return nil })
+							if err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+				b.StopTimer()
+				close(stop)
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshotPin isolates the cost of taking and closing a
+// snapshot itself — the price of entry to the lock-free read path —
+// with no writer interference: the cached-version case (pin only) and
+// the cold case (every pin materialises a fresh deep copy because a
+// write superseded the version).
+func BenchmarkSnapshotPin(b *testing.B) {
+	setup := func(b *testing.B) *Repository {
+		r := NewRepository(RepoOptions{})
+		doc, err := ParseString("<r><seed/></r>")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Open("a", doc, "qed"); err != nil {
+			b.Fatal(err)
+		}
+		d, _ := r.Get("a")
+		err = d.Update(func(s *Session) error {
+			bt := s.Batch()
+			for i := 0; i < 63; i++ {
+				bt.AppendChild(s.Document().Root(), "item")
+			}
+			_, err := bt.Commit()
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	b.Run("cached", func(b *testing.B) {
+		r := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap, err := r.Snapshot("a")
+			if err != nil {
+				b.Fatal(err)
+			}
+			snap.Close()
+		}
+	})
+	b.Run("materialise-64-nodes", func(b *testing.B) {
+		r := setup(b)
+		d, _ := r.Get("a")
+		write := func() {
+			err := d.Update(func(s *Session) error {
+				root := s.Document().Root()
+				if _, err := s.AppendChild(root, "x"); err != nil {
+					return err
+				}
+				return s.Delete(root.LastChild())
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			write() // supersede the cached version: next pin must copy
+			snap, err := r.Snapshot("a")
+			if err != nil {
+				b.Fatal(err)
+			}
+			snap.Close()
+		}
+	})
+}

@@ -2,9 +2,10 @@
 // paper's qualitative claims C1-C8 (DESIGN.md's per-experiment index)
 // plus the repository-layer measurements — C9 batched transactions,
 // C10 durable-commit fsync policies, C11 recovery time under WAL
-// segmentation + auto-checkpoint, and C12 multi-document transaction
-// cost (MultiBatch vs equivalent per-document batches) — as measured
-// tables.
+// segmentation + auto-checkpoint, C12 multi-document transaction
+// cost (MultiBatch vs equivalent per-document batches), and C13 MVCC
+// snapshot-read throughput vs lock-held reads under writer load — as
+// measured tables.
 //
 // Usage:
 //
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (C1-C12); empty runs all")
+	exp := flag.String("exp", "", "experiment id (C1-C13); empty runs all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	csv := flag.Bool("csv", false, "print tables as CSV (header + rows only)")
 	flag.Parse()
@@ -43,6 +44,7 @@ func run(exp string, quick, csv bool) error {
 	durCommits, durBatch := 200, 16
 	recHistories, recBatch := []int{250, 1000, 4000}, 8
 	multiTxns, multiBatch := 120, 8
+	snapReads, snapGroup := 2000, 8
 	cfg := core.DefaultProbeConfig()
 	if quick {
 		storms = 15
@@ -52,6 +54,7 @@ func run(exp string, quick, csv bool) error {
 		durCommits, durBatch = 40, 8
 		recHistories = []int{100, 400, 1600}
 		multiTxns, multiBatch = 30, 4
+		snapReads, snapGroup = 300, 8
 		cfg.BaseNodes, cfg.StormOps, cfg.SkewedOps, cfg.ZigzagOps, cfg.XPathNodes = 100, 100, 300, 100, 36
 	}
 	runners := []struct {
@@ -73,6 +76,7 @@ func run(exp string, quick, csv bool) error {
 		{"C10", func() (experiments.Table, error) { return experiments.C10CommitLatency(durCommits, durBatch) }},
 		{"C11", func() (experiments.Table, error) { return experiments.C11Recovery(recHistories, recBatch) }},
 		{"C12", func() (experiments.Table, error) { return experiments.C12MultiDoc(multiTxns, multiBatch) }},
+		{"C13", func() (experiments.Table, error) { return experiments.C13SnapshotReads(snapReads, snapGroup) }},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -91,7 +95,7 @@ func run(exp string, quick, csv bool) error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (C1-C12)", exp)
+		return fmt.Errorf("unknown experiment %q (C1-C13)", exp)
 	}
 	return nil
 }

@@ -1,0 +1,62 @@
+package xmldyn
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsNoDeadLinks fails on dead intra-docs links: every relative
+// markdown link in README.md and docs/*.md (and the examples'
+// READMEs) must point at a file that exists in the repository.
+// External links (http/https/mailto) and pure in-page anchors are out
+// of scope; a relative link's anchor fragment is stripped before the
+// file check. CI runs this as its own step so a renamed or deleted
+// doc cannot silently orphan references from the others.
+func TestDocsNoDeadLinks(t *testing.T) {
+	files := []string{"README.md"}
+	for _, glob := range []string{"docs/*.md", "examples/*/README.md"} {
+		matches, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) < 4 {
+		t.Fatalf("found only %d markdown files — the glob set is broken", len(files))
+	}
+	// Inline markdown links: [text](target). Reference-style links and
+	// autolinks are not used in this repository's docs.
+	linkRe := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			// Strip an anchor; a bare in-page anchor needs no file check.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			checked++
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead link %q (resolved %q): %v", file, m[1], resolved, err)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found across the docs — the link regexp is broken")
+	}
+}

@@ -107,6 +107,61 @@ func ExampleDurableRepository_MultiBatch() {
 	// index: 1 children
 }
 
+// ExampleDurableRepository_Snapshot pins a multi-document MVCC
+// snapshot on a durable repository and commits a MultiBatch next to
+// it: the snapshot observes the pre-transaction state on BOTH
+// documents — transaction consistency means it could never see the
+// pair half updated (docs/CONCURRENCY.md §2, G3).
+func ExampleDurableRepository_Snapshot() {
+	dir, err := os.MkdirTemp("", "xmldyn-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	r, err := xmldyn.NewDurableRepository(dir, xmldyn.DurableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	books, _ := xmldyn.ParseString("<lib/>")
+	index, _ := xmldyn.ParseString("<idx/>")
+	if err := r.Open("books", books, "qed"); err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Open("index", index, "qed"); err != nil {
+		log.Fatal(err)
+	}
+
+	snap, err := r.Snapshot("books", "index")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer snap.Close()
+
+	// One atomic cross-document transaction commits after the pin.
+	_, err = r.MultiBatch([]string{"books", "index"}, func(m map[string]*xmldyn.MultiDoc) error {
+		for _, md := range m {
+			md.Batch().AppendChild(md.Document().Root(), "entry")
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, name := range []string{"books", "index"} {
+		pinned, _ := snap.Query(name, "//entry")
+		live, _ := r.Query(name, "//entry")
+		fmt.Printf("%s: snapshot %d, live %d\n", name, len(pinned), len(live))
+	}
+	fmt.Println("pinned versions:", snap.Versions()["books"], snap.Versions()["index"])
+	// Output:
+	// books: snapshot 0, live 1
+	// index: snapshot 0, live 1
+	// pinned versions: 0 0
+}
+
 // ExampleDurableRepository_Checkpoint folds the write-ahead log into a
 // fresh snapshot: the generation advances, dead segments are deleted,
 // and the live log shrinks to one bare segment header — which is why

@@ -90,6 +90,41 @@ func ExampleQuery() {
 	// name = "Destiny Image"
 }
 
+// ExampleRepository_Snapshot pins an MVCC snapshot and shows it
+// holding perfectly still — with no lock held — while a transaction
+// commits next to it (docs/CONCURRENCY.md is the full consistency
+// model).
+func ExampleRepository_Snapshot() {
+	r := xmldyn.NewRepository(xmldyn.RepoOptions{})
+	doc, _ := xmldyn.ParseString("<shelf><book/></shelf>")
+	if _, err := r.Open("books", doc, "qed"); err != nil {
+		log.Fatal(err)
+	}
+
+	snap, err := r.Snapshot("books")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer snap.Close()
+
+	// A writer commits after the pin...
+	if _, err := r.Batch("books", []xmldyn.Op{
+		xmldyn.AppendChildOp(doc.Root(), "book"),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// ...the snapshot still reads the pinned version, the live
+	// repository the new one.
+	pinned, _ := snap.Query("books", "//book")
+	live, _ := r.Query("books", "//book")
+	fmt.Printf("snapshot: %d book(s), live: %d book(s)\n", len(pinned), len(live))
+	fmt.Println("snapshot nodes frozen:", pinned[0].Frozen())
+	// Output:
+	// snapshot: 1 book(s), live: 2 book(s)
+	// snapshot nodes frozen: true
+}
+
 // ExamplePublishedMatrix inspects the paper's Figure 7.
 func ExamplePublishedMatrix() {
 	for _, row := range xmldyn.PublishedMatrix() {

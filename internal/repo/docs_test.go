@@ -1,0 +1,162 @@
+package repo_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"xmldyn/internal/repo"
+)
+
+// readConcurrencyDoc loads docs/CONCURRENCY.md, the snapshot
+// consistency-model specification this package implements.
+func readConcurrencyDoc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "CONCURRENCY.md"))
+	if err != nil {
+		t.Fatalf("docs/CONCURRENCY.md must exist (it specifies the consistency model): %v", err)
+	}
+	return string(data)
+}
+
+// TestConcurrencyDocConstants is the docs-check gate for the
+// consistency spec's golden constants: every `repo.Name | value` row
+// in docs/CONCURRENCY.md §7 must equal the value in the source, in
+// both directions — the same contract TestDurabilityDocConstants
+// enforces for DURABILITY.md. CI runs it as part of the docs-check
+// step.
+func TestConcurrencyDocConstants(t *testing.T) {
+	doc := readConcurrencyDoc(t)
+	rowRe := regexp.MustCompile("(?m)^\\|\\s*`([a-z]+\\.[A-Za-z]+)`\\s*\\|\\s*`([^`]+)`\\s*\\|")
+	documented := make(map[string]string)
+	for _, m := range rowRe.FindAllStringSubmatch(doc, -1) {
+		documented[m[1]] = m[2]
+	}
+	if len(documented) == 0 {
+		t.Fatal("no golden-constant rows found in docs/CONCURRENCY.md")
+	}
+	expect := map[string]string{
+		"repo.InitialVersionSeq": fmt.Sprint(repo.InitialVersionSeq),
+		"repo.DefaultShards":     fmt.Sprint(repo.DefaultShards),
+	}
+	for name, want := range expect {
+		got, ok := documented[name]
+		if !ok {
+			t.Errorf("docs/CONCURRENCY.md is missing golden constant %s (code value %s)", name, want)
+			continue
+		}
+		if got != want {
+			t.Errorf("docs/CONCURRENCY.md documents %s = %s, code says %s", name, got, want)
+		}
+	}
+	for name := range documented {
+		if _, ok := expect[name]; !ok {
+			t.Errorf("docs/CONCURRENCY.md documents unknown constant %s — add it to the golden test or remove it", name)
+		}
+	}
+}
+
+// TestConcurrencyDocMentionsSnapshotSymbols requires every exported
+// snapshot/version symbol of internal/repo to be mentioned in
+// docs/CONCURRENCY.md: top-level symbols (types, funcs, consts, vars)
+// whose name contains "Snapshot" or "Version" by bare name, and
+// methods — on those types, or themselves so named — as
+// "Receiver.Method". A new snapshot API shipping without spec
+// coverage fails the build.
+func TestConcurrencyDocMentionsSnapshotSymbols(t *testing.T) {
+	doc := readConcurrencyDoc(t)
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSnapshotName := func(name string) bool {
+		return strings.Contains(name, "Snapshot") || strings.Contains(name, "Version")
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if d.Recv == nil {
+						if isSnapshotName(d.Name.Name) {
+							checked++
+							if !strings.Contains(doc, d.Name.Name) {
+								t.Errorf("docs/CONCURRENCY.md never mentions %s — specify it", d.Name.Name)
+							}
+						}
+						continue
+					}
+					recv := recvTypeName(d.Recv)
+					if recv == "" || !ast.IsExported(recv) {
+						continue
+					}
+					if !isSnapshotName(recv) && !isSnapshotName(d.Name.Name) {
+						continue
+					}
+					checked++
+					want := recv + "." + d.Name.Name
+					if !strings.Contains(doc, want) {
+						t.Errorf("docs/CONCURRENCY.md never mentions %s — specify it", want)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && isSnapshotName(s.Name.Name) {
+								checked++
+								if !strings.Contains(doc, s.Name.Name) {
+									t.Errorf("docs/CONCURRENCY.md never mentions type %s — specify it", s.Name.Name)
+								}
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() && isSnapshotName(n.Name) {
+									checked++
+									if !strings.Contains(doc, n.Name) {
+										t.Errorf("docs/CONCURRENCY.md never mentions %s — specify it", n.Name)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Snapshot, its five read methods + Close, the two Snapshot
+	// constructors, VersionStats (type + two methods), Doc.Version,
+	// InitialVersionSeq, ErrSnapshotClosed: the test must have seen at
+	// least that much or the walk is broken.
+	if checked < 13 {
+		t.Fatalf("found only %d exported snapshot/version symbols in internal/repo — the parse filter is broken", checked)
+	}
+}
+
+// recvTypeName unwraps a method receiver's type name.
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

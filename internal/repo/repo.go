@@ -4,16 +4,24 @@
 // order invariant survives sustained modification ("this order must be
 // maintained in the presence of updates", §1).
 //
-// Concurrency model, two levels:
+// Concurrency model, three levels (docs/CONCURRENCY.md is the full
+// specification):
 //
 //   - The name space is sharded: an FNV-1a hash of the document name
 //     picks one of N shards, each guarded by its own sync.RWMutex, so
 //     opens/lookups/drops on different names rarely contend.
 //   - Each document carries its own sync.RWMutex: any number of
-//     readers (queries, verifications, snapshots) proceed in parallel
-//     while writers — single updates or batched transactions — are
+//     readers (queries, verifications) proceed in parallel while
+//     writers — single updates or batched transactions — are
 //     serialized per document and never block traffic on other
 //     documents.
+//   - MVCC snapshot reads (version.go): Snapshot pins an immutable,
+//     transaction-consistent version of one or more documents, and
+//     reads on it run with NO lock held — a slow reader never stalls
+//     a writer, and a writer storm never starves a reader. Versions
+//     are published on commit, shared between snapshots, and
+//     reference-counted so superseded versions free their memory as
+//     soon as the last snapshot pinning them closes.
 //
 // Updates go through the update layer's batched transactions
 // (update.Session.Apply): a committed batch re-verifies document order
@@ -32,8 +40,10 @@
 // Re-entrancy: the locks are not re-entrant. A View/Update/QueryFunc
 // callback must not call back into the repository or its Docs (a
 // nested read of the same document deadlocks once a writer is
-// queued, and Save from inside an Update self-deadlocks). Do all
-// repository calls from outside the callback.
+// queued, and Save from inside an Update self-deadlocks). That
+// includes Snapshot, which takes document read locks. Do all
+// repository calls from outside the callback; reads on an
+// already-taken Snapshot are lock-free and safe anywhere.
 package repo
 
 import (
@@ -76,6 +86,9 @@ type Options struct {
 type Repository struct {
 	shards     []shard
 	autoVerify bool
+	// vstats is the repository-wide MVCC accounting behind
+	// VersionStats (version.go).
+	vstats versionStats
 }
 
 type shard struct {
@@ -95,6 +108,17 @@ type Doc struct {
 	scheme string
 	mu     sync.RWMutex
 	sess   *update.Session
+	// MVCC version chain (version.go): verSeq advances on every
+	// committed mutation via the session's commit hook; cur caches the
+	// (possibly unmaterialised) version descriptor for the current
+	// state, nil after each commit until the next snapshot pins one;
+	// dropped marks a slot removed from the name space, so a version
+	// pinned by a racing snapshot is born superseded (no commit hook
+	// will ever fire again to supersede it).
+	vmu     sync.Mutex
+	verSeq  uint64
+	cur     *docVersion
+	dropped bool
 }
 
 // New creates an empty repository.
@@ -177,7 +201,13 @@ func (r *Repository) add(name, scheme string, sess *update.Session) (*Doc, error
 	// Adopt the session into the repository's verification policy
 	// before it becomes reachable by name.
 	sess.SetAutoVerify(r.autoVerify)
-	d := &Doc{name: name, scheme: scheme, sess: sess}
+	d := &Doc{name: name, scheme: scheme, sess: sess, verSeq: InitialVersionSeq}
+	// Every committed mutation — single op, batch or rollback, plain or
+	// durable, live or replayed — supersedes the document's published
+	// MVCC version (version.go). The hook fires while the writer still
+	// holds the document's write lock, so snapshot readers (read lock)
+	// can never pin a mid-commit state.
+	sess.SetOnCommit(d.invalidateVersion)
 	sh.docs[name] = d
 	return d, nil
 }
@@ -197,11 +227,20 @@ func (r *Repository) Get(name string) (*Doc, bool) {
 func (r *Repository) Drop(name string) bool {
 	sh := r.shardFor(name)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.docs[name]; !ok {
+	d, ok := sh.docs[name]
+	if !ok {
+		sh.mu.Unlock()
 		return false
 	}
 	delete(sh.docs, name)
+	sh.mu.Unlock()
+	// Supersede the dropped document's cached version so its frozen
+	// tree is released once the last snapshot pinning it closes; open
+	// snapshots keep reading it (docs/CONCURRENCY.md §4). markDropped
+	// also ensures a snapshot that raced the drop (it resolved the
+	// slot before the delete) pins a version that is born superseded
+	// — nothing will ever supersede it afterwards.
+	d.markDropped()
 	return true
 }
 

@@ -1,0 +1,406 @@
+// MVCC snapshot reads: the version chain behind Repository.Snapshot.
+// docs/CONCURRENCY.md is the authoritative specification of the
+// consistency model this file implements; the shape in brief:
+//
+//   - Every document carries a version sequence number, starting at
+//     InitialVersionSeq when the document is opened and advancing on
+//     every committed mutation (the update layer's commit hook fires
+//     once per committed op, batch or rollback, always under the
+//     document's write lock).
+//   - A version's tree is materialised lazily: the first snapshot to
+//     pin a version deep-copies the live document UNDER the document's
+//     read lock, freezes the copy (xmltree's frozen bit), and every
+//     later snapshot of the same version shares that one frozen tree.
+//     Writers never pay for versions nobody reads.
+//   - Snapshot readers then run against the frozen tree with NO lock
+//     held: a slow reader cannot stall writers, and a writer storm
+//     cannot starve readers (the C13 experiment measures both).
+//   - Version lifetime is reference-counted for deterministic memory
+//     accounting: a version's tree is released as soon as it is both
+//     superseded (a newer commit exists, or the document was dropped)
+//     and unpinned (no open snapshot references it). The current
+//     version of a live document stays cached even when unpinned — it
+//     is what the next snapshot will share.
+//
+// Lock order: Snapshot acquires the requested documents' read locks in
+// sorted-name order — the same single global order MultiBatch (write
+// locks) and Save (read locks) use — captures and materialises every
+// version while ALL those read locks are held, and releases them
+// before returning. Holding the full read-lock set at capture time is
+// the multi-document consistency argument: a MultiBatch over any
+// subset of the snapshot's documents holds all its write locks until
+// its versions are installed, so the snapshot observes the transaction
+// on every involved document or on none (never a torn prefix).
+// (File comment — the package doc lives in repo.go.)
+
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xmldyn/internal/xmltree"
+	"xmldyn/internal/xpath"
+)
+
+// ErrSnapshotClosed reports a read on a snapshot after Close.
+var ErrSnapshotClosed = errors.New("repo: snapshot is closed")
+
+// InitialVersionSeq is the version sequence number of a freshly opened
+// document: version 0 is the state the document was opened with, and
+// every committed mutation advances the sequence by at least one
+// (docs/CONCURRENCY.md golden constant).
+const InitialVersionSeq uint64 = 0
+
+// versionStats aggregates repository-wide version accounting; the
+// exported view is VersionStats.
+type versionStats struct {
+	open   atomic.Int64 // snapshots opened and not yet closed
+	pinned atomic.Int64 // versions referenced by at least one open snapshot
+	live   atomic.Int64 // materialised version trees not yet released
+}
+
+// VersionStats is a point-in-time view of the repository's MVCC
+// accounting, for operators triaging snapshot leaks and GC backlogs
+// (docs/OPERATIONS.md §7). All three gauges are exact, not sampled.
+type VersionStats struct {
+	// OpenSnapshots counts snapshots opened and not yet closed. A
+	// monotonically climbing value under steady load is a snapshot
+	// leak: some reader is not calling Close.
+	OpenSnapshots int64
+	// PinnedVersions counts versions referenced by at least one open
+	// snapshot. Superseded-but-pinned versions are the "GC backlog":
+	// memory that cannot be released until their snapshots close.
+	PinnedVersions int64
+	// LiveVersions counts materialised (frozen, deep-copied) version
+	// trees currently retained — pinned ones plus at most one cached
+	// current version per document.
+	LiveVersions int64
+}
+
+// VersionStats returns the repository's current MVCC accounting.
+func (r *Repository) VersionStats() VersionStats {
+	return VersionStats{
+		OpenSnapshots:  r.vstats.open.Load(),
+		PinnedVersions: r.vstats.pinned.Load(),
+		LiveVersions:   r.vstats.live.Load(),
+	}
+}
+
+// VersionStats returns the durable repository's MVCC accounting (the
+// in-memory repository's; versions are never logged or recovered —
+// see docs/CONCURRENCY.md §5).
+func (d *DurableRepository) VersionStats() VersionStats { return d.repo.VersionStats() }
+
+// docVersion is one published, immutable document version. It is
+// created unmaterialised by the first snapshot that pins the
+// document's current state; its frozen tree is shared by every
+// snapshot of the same version and released per the lifetime rule in
+// the file comment.
+type docVersion struct {
+	seq    uint64
+	name   string
+	scheme string
+	stats  *versionStats
+
+	mu           sync.Mutex
+	pins         int
+	superseded   bool
+	materialised bool
+	tree         *xmltree.Document // frozen; nil before materialisation and after release
+}
+
+// pin registers one snapshot reference. Caller: Doc.pinCurrent, under
+// the document's vmu.
+func (v *docVersion) pin() {
+	v.mu.Lock()
+	v.pins++
+	if v.pins == 1 {
+		v.stats.pinned.Add(1)
+	}
+	v.mu.Unlock()
+}
+
+// unpin drops one snapshot reference, releasing the tree if the
+// version is also superseded.
+func (v *docVersion) unpin() {
+	v.mu.Lock()
+	v.pins--
+	if v.pins == 0 {
+		v.stats.pinned.Add(-1)
+		v.maybeReleaseLocked()
+	}
+	v.mu.Unlock()
+}
+
+// supersede marks the version no longer current (a newer commit
+// exists, or the document was dropped), releasing the tree if it is
+// also unpinned.
+func (v *docVersion) supersede() {
+	v.mu.Lock()
+	v.superseded = true
+	v.maybeReleaseLocked()
+	v.mu.Unlock()
+}
+
+// maybeReleaseLocked frees the materialised tree once nothing can read
+// it again: superseded means no future snapshot can pin this version,
+// zero pins means no open snapshot reads it now. Callers hold v.mu.
+func (v *docVersion) maybeReleaseLocked() {
+	if v.superseded && v.pins == 0 && v.tree != nil {
+		v.tree = nil
+		v.stats.live.Add(-1)
+	}
+}
+
+// materialise returns the version's frozen tree, building it from the
+// live document on first use. The caller must hold the document's
+// read lock (the live tree must be stable during the deep copy) and
+// must have pinned the version (so it cannot be released mid-build).
+func (v *docVersion) materialise(live *xmltree.Document) *xmltree.Document {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.materialised {
+		t := live.Clone()
+		t.Freeze()
+		v.tree = t
+		v.materialised = true
+		v.stats.live.Add(1)
+	}
+	return v.tree
+}
+
+// Version returns the document's current version sequence number:
+// InitialVersionSeq for a freshly opened document, advancing on every
+// committed mutation. Two equal Version results with no writer in
+// between mean the document is unchanged.
+func (d *Doc) Version() uint64 {
+	d.vmu.Lock()
+	defer d.vmu.Unlock()
+	return d.verSeq
+}
+
+// invalidateVersion advances the version sequence and supersedes the
+// cached current version, if any. It is the session commit hook
+// (installed by Repository.add), so it runs on every committed
+// mutation while the writer still holds the document's write lock;
+// Drop also calls it so a dropped document's cached tree is released
+// once unpinned.
+func (d *Doc) invalidateVersion() {
+	d.vmu.Lock()
+	d.verSeq++
+	cur := d.cur
+	d.cur = nil
+	d.vmu.Unlock()
+	if cur != nil {
+		cur.supersede()
+	}
+}
+
+// markDropped supersedes the cached version and marks the slot
+// dropped: versions pinned from here on are born superseded, because
+// no commit hook will ever fire on the slot again to supersede them
+// (Repository.Drop calls this after unlinking the name).
+func (d *Doc) markDropped() {
+	d.vmu.Lock()
+	d.dropped = true
+	d.vmu.Unlock()
+	d.invalidateVersion()
+}
+
+// pinCurrent pins (creating on first use) the version descriptor for
+// the document's current state. The caller holds the document's read
+// lock, so no commit can advance verSeq concurrently.
+func (d *Doc) pinCurrent(stats *versionStats) *docVersion {
+	d.vmu.Lock()
+	if d.cur == nil {
+		d.cur = &docVersion{seq: d.verSeq, name: d.name, scheme: d.scheme, stats: stats,
+			// A snapshot can still pin a dropped slot (it resolved the
+			// name before the drop); the version must free on its last
+			// unpin, since no future commit will supersede it.
+			superseded: d.dropped}
+	}
+	v := d.cur
+	v.pin()
+	d.vmu.Unlock()
+	return v
+}
+
+// snapEntry is one document inside a snapshot: the pinned version and
+// its frozen tree, resolved once at capture time.
+type snapEntry struct {
+	v    *docVersion
+	tree *xmltree.Document
+}
+
+// Snapshot is a transaction-consistent, immutable view of one or more
+// named documents, pinned at a single instant: reads on it run with no
+// repository or document lock held and always observe the same
+// committed state, however many writers commit meanwhile. A snapshot
+// of several documents is consistent ACROSS them: it can never observe
+// a MultiBatch transaction on some involved documents but not others.
+// Obtain one from Repository.Snapshot or DurableRepository.Snapshot;
+// Close it when done so its versions can be reclaimed
+// (docs/CONCURRENCY.md specifies the full observation model).
+//
+// A Snapshot is safe for concurrent use by multiple goroutines.
+type Snapshot struct {
+	mu     sync.RWMutex
+	docs   map[string]snapEntry
+	names  []string // sorted
+	stats  *versionStats
+	closed bool
+}
+
+// Snapshot pins a consistent view of the named documents (all
+// documents when names is empty) and returns it. The documents' read
+// locks are acquired in sorted-name order — the same global order
+// MultiBatch and Save use — and ALL of them are held while the
+// versions are captured, which is what makes the result a consistent
+// cut: no multi-document transaction can be half-visible in it. The
+// locks are released before Snapshot returns; reads on the snapshot
+// never block, and never are blocked by, any writer.
+//
+// The first snapshot of a given version pays a deep copy of each
+// document (under the read lock); later snapshots of the same version
+// share the copy. Explicitly requested unknown names fail with
+// ErrNotFound before any lock is taken; in the all-documents form a
+// document dropped between the listing and the resolution is simply
+// excluded, as in Save — the membership was never the caller's to
+// pin. Close the snapshot when done.
+func (r *Repository) Snapshot(names ...string) (*Snapshot, error) {
+	all := len(names) == 0
+	if all {
+		names = r.Names()
+	}
+	uniq := sortedUnique(names)
+	held := make([]*Doc, 0, len(uniq))
+	resolved := uniq[:0]
+	for _, name := range uniq {
+		d, ok := r.Get(name)
+		if !ok {
+			if all {
+				continue
+			}
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		held = append(held, d)
+		resolved = append(resolved, name)
+	}
+	uniq = resolved
+	for _, d := range held {
+		d.mu.RLock()
+	}
+	s := &Snapshot{docs: make(map[string]snapEntry, len(held)), names: uniq, stats: &r.vstats}
+	for _, d := range held {
+		v := d.pinCurrent(&r.vstats)
+		s.docs[d.name] = snapEntry{v: v, tree: v.materialise(d.sess.Document())}
+	}
+	for i := len(held) - 1; i >= 0; i-- {
+		held[i].mu.RUnlock()
+	}
+	r.vstats.open.Add(1)
+	return s, nil
+}
+
+// Snapshot pins a consistent view of the named documents of the
+// durable repository (all documents when names is empty); semantics
+// exactly as Repository.Snapshot. Snapshots are an in-memory
+// construct: they are never logged, and recovery starts with no
+// versions (docs/CONCURRENCY.md §5).
+func (d *DurableRepository) Snapshot(names ...string) (*Snapshot, error) {
+	return d.repo.Snapshot(names...)
+}
+
+// Names lists the snapshot's document names, sorted. It stays valid
+// after Close.
+func (s *Snapshot) Names() []string { return append([]string(nil), s.names...) }
+
+// Versions maps each document in the snapshot to the version sequence
+// number it was pinned at — the observability handle for "did anything
+// change between these two snapshots". It stays valid after Close.
+func (s *Snapshot) Versions() map[string]uint64 {
+	out := make(map[string]uint64, len(s.docs))
+	for name, e := range s.docs {
+		out[name] = e.v.seq
+	}
+	return out
+}
+
+// Scheme names the registry scheme the named document was opened
+// under at the time of the snapshot.
+func (s *Snapshot) Scheme(name string) (string, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return "", err
+	}
+	return e.v.scheme, nil
+}
+
+// Document returns the named document's frozen tree. The tree is
+// immutable (mutators fail with xmltree.ErrFrozen or panic; see
+// xmltree's freeze semantics) and safe to navigate from any goroutine
+// with no lock held, indefinitely — nodes reached from it stay valid
+// even after the snapshot is closed, though closing releases the
+// repository's own reference. Use xmltree's Clone for a mutable copy.
+func (s *Snapshot) Document(name string) (*xmltree.Document, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.tree, nil
+}
+
+// Query evaluates a location path (the xpath package's grammar)
+// against the named document's frozen tree and returns the matching
+// nodes — the frozen nodes themselves, zero-copy, because nothing can
+// mutate them: unlike Repository.Query there is no lock to outlive and
+// therefore no defensive deep copy. Clone a node if a mutable copy is
+// needed.
+func (s *Snapshot) Query(name, path string) ([]*xmltree.Node, error) {
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	// Structural mode navigates parent/child pointers only — a frozen
+	// tree has no labeling, and needs none.
+	return xpath.New(e.tree, nil, xpath.ModeStructural).Query(path)
+}
+
+// entry resolves a name under the read lock, failing on closed
+// snapshots and unknown names.
+func (s *Snapshot) entry(name string) (snapEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return snapEntry{}, ErrSnapshotClosed
+	}
+	e, ok := s.docs[name]
+	if !ok {
+		return snapEntry{}, fmt.Errorf("%w: %q (not in this snapshot)", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// Close releases the snapshot's version pins; superseded versions it
+// was the last reader of free their trees immediately. Reads after
+// Close fail with ErrSnapshotClosed (nodes already handed out stay
+// valid — they are garbage-collected Go memory like any other). Close
+// is idempotent and safe to call concurrently with reads.
+func (s *Snapshot) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	docs := s.docs
+	s.docs = nil
+	s.mu.Unlock()
+	for _, e := range docs {
+		e.v.unpin()
+	}
+	s.stats.open.Add(-1)
+}

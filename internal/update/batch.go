@@ -290,7 +290,13 @@ func (s *Session) ApplyStaged(ops []Op) (*BatchResult, func() error, error) {
 	defer func() { s.inBatch = false }()
 	var undo []func() error
 	fail := func(err error) (*BatchResult, func() error, error) {
-		if rbErr := s.rollback(undo); rbErr != nil {
+		rbErr := s.rollback(undo)
+		// The tree was mutated and (on a clean rollback) restored; on a
+		// failed rollback it is partially restored. Either way notify,
+		// so a cached MVCC version can never survive a tree the batch
+		// touched (docs/CONCURRENCY.md).
+		s.notifyCommit()
+		if rbErr != nil {
 			// Keep both chains matchable: the rollback failure and the
 			// op error that triggered it.
 			return nil, nil, fmt.Errorf("%w (after %w)", rbErr, err)
@@ -317,8 +323,11 @@ func (s *Session) ApplyStaged(ops []Op) (*BatchResult, func() error, error) {
 	}
 	s.ctr.Operations++
 	s.ctr.Batches++
+	s.notifyCommit()
 	rollback := func() error {
-		if err := s.rollback(undo); err != nil {
+		err := s.rollback(undo)
+		s.notifyCommit() // the undo log mutated the tree back
+		if err != nil {
 			return err
 		}
 		s.ctr.Operations--

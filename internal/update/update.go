@@ -57,6 +57,13 @@ type Session struct {
 	// inBatch suppresses per-op accounting and verification while
 	// Apply drains a batch; the batch commit does both once.
 	inBatch bool
+	// onCommit, when set, runs after every committed mutation of the
+	// document — once per top-level operation, once per committed
+	// batch, and after a batch rollback (which mutates the tree back).
+	// The repository layer uses it to supersede published MVCC
+	// versions (docs/CONCURRENCY.md); it runs while the caller still
+	// holds whatever lock guards the session.
+	onCommit func()
 }
 
 // NewSession builds the labeling for doc and returns the session.
@@ -87,6 +94,25 @@ func (s *Session) SetAutoVerify(on bool) { s.autoVerify = on }
 // AutoVerify reports whether per-operation verification is on.
 func (s *Session) AutoVerify() bool { return s.autoVerify }
 
+// SetOnCommit installs fn as the session's commit hook: it runs after
+// every committed mutation — each top-level operation, each committed
+// batch, and each batch rollback (a rollback mutates the tree back to
+// its pre-batch state). fn must be fast and must not call back into
+// the session. The repository layer uses the hook to supersede the
+// document's published MVCC version on every commit, which is what
+// makes snapshot reads see only committed states (docs/CONCURRENCY.md);
+// a nil fn removes the hook. Sessions adopted into a repository have
+// their hook owned by it — replacing the hook on such a session (e.g.
+// inside a View/Update callback) breaks snapshot consistency.
+func (s *Session) SetOnCommit(fn func()) { s.onCommit = fn }
+
+// notifyCommit fires the commit hook, if any.
+func (s *Session) notifyCommit() {
+	if s.onCommit != nil {
+		s.onCommit()
+	}
+}
+
 // finishOp closes out one top-level operation: it counts the operation
 // and, when auto-verification is on, re-checks document order. Inside a
 // batch both are deferred to the commit, which performs them once for
@@ -96,6 +122,10 @@ func (s *Session) finishOp() error {
 		return nil
 	}
 	s.ctr.Operations++
+	// Notify before the verification pass: a failed per-op check
+	// reports the violation but leaves the op applied (see
+	// SetAutoVerify), so the document has changed either way.
+	s.notifyCommit()
 	if s.autoVerify {
 		return s.verifyCounted()
 	}
@@ -271,6 +301,10 @@ func (s *Session) move(n *xmltree.Node, attach func() error, dest *xmltree.Node)
 	n.Detach()
 	s.ctr.Deletes += removed
 	if err := attach(); err != nil {
+		// The subtree is detached and stays lost (the single-op path
+		// does not roll back) — the tree changed, so the commit hook
+		// must fire even though the op failed.
+		s.notifyCommit()
 		return err
 	}
 	// labelSubtree counts the move as one operation.
@@ -281,6 +315,7 @@ func (s *Session) move(n *xmltree.Node, attach func() error, dest *xmltree.Node)
 // reset), keeping n itself labelled.
 func (s *Session) DeleteChildren(n *xmltree.Node) error {
 	kids := append([]*xmltree.Node{}, n.Children()...)
+	detached := false
 	for _, c := range kids {
 		if c.Kind() == xmltree.KindElement {
 			if err := s.Delete(c); err != nil {
@@ -289,6 +324,14 @@ func (s *Session) DeleteChildren(n *xmltree.Node) error {
 			continue
 		}
 		c.Detach()
+		detached = true
+	}
+	if detached {
+		// Non-element children are detached outside the op machinery
+		// (no label, no counter), but the tree still changed — the
+		// commit hook must fire or a cached MVCC version would survive
+		// the mutation (e.g. a text-only child list).
+		s.notifyCommit()
 	}
 	return nil
 }
@@ -330,6 +373,13 @@ func (s *Session) Rename(n *xmltree.Node, name string) error {
 
 func (s *Session) labelNew(n *xmltree.Node) error {
 	if err := s.lab.NodeInserted(n); err != nil {
+		// The node is already attached; outside a batch it stays
+		// attached (no rollback on the single-op path), so the tree
+		// changed and the commit hook must fire. Inside a batch the
+		// apply layer cleans up and notifies via its own fail path.
+		if !s.inBatch {
+			s.notifyCommit()
+		}
 		return fmt.Errorf("update: label %s insert: %w", s.lab.Name(), err)
 	}
 	s.ctr.Inserts++
@@ -368,6 +418,12 @@ func (s *Session) labelSubtree(root *xmltree.Node) error {
 		return nil
 	})
 	if err != nil {
+		// As in labelNew: the subtree is already grafted and the
+		// single-op path leaves it there, so notify on the error path
+		// too (the batch apply layer handles its own cleanup+notify).
+		if !s.inBatch {
+			s.notifyCommit()
+		}
 		return fmt.Errorf("update: subtree label %s: %w", s.lab.Name(), err)
 	}
 	return s.finishOp()

@@ -36,8 +36,14 @@ func (d *Document) Root() *Node {
 }
 
 // SetRoot installs root as the document's root element, replacing any
-// existing root element.
+// existing root element. It returns ErrFrozen on a frozen document or
+// root — checked up front, before the old root is detached, so a
+// frozen document is never half-mutated (and never trips the void
+// mutators' panic; see freeze.go).
 func (d *Document) SetRoot(root *Node) error {
+	if d.node.frozen || root.frozen {
+		return ErrFrozen
+	}
 	if root.Kind() != KindElement {
 		return fmt.Errorf("%w: document root must be an element", ErrWrongKind)
 	}

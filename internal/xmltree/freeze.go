@@ -1,0 +1,58 @@
+// Frozen subtrees: the immutability primitive behind the repository's
+// MVCC snapshot reads (docs/CONCURRENCY.md). Freezing a subtree marks
+// every node in it immutable; a frozen tree can be navigated, queried
+// and serialised concurrently by any number of goroutines with no lock
+// held, because nothing can change under them — every mutator refuses
+// frozen nodes. Freezing is one-way: a frozen node never thaws, but
+// Clone of a frozen node returns an ordinary mutable copy, so "thaw"
+// is spelled Clone.
+//
+// Enforcement is split by signature, and the split is part of the
+// contract (docs/CONCURRENCY.md §6): mutators that can return an error
+// report ErrFrozen; mutators with no error path (SetName, SetValue,
+// Detach, RemoveAttr) panic, because silently ignoring a write to a
+// published snapshot would hide a real bug in the caller.
+// (File comment — the package doc lives in xmltree.go's sibling,
+// node.go.)
+
+package xmltree
+
+import "errors"
+
+// ErrFrozen reports a mutation attempted on a frozen (snapshot) node.
+// Error-returning mutators return it; void mutators panic instead.
+var ErrFrozen = errors.New("xmltree: node is frozen (snapshot); Clone it to get a mutable copy")
+
+// frozenPanic is the message void mutators panic with; tests match it.
+const frozenPanic = "xmltree: mutation of a frozen (snapshot) node"
+
+// Freeze marks the subtree rooted at n — the node, its attributes and
+// all descendants — immutable. Freezing an already frozen subtree is a
+// no-op. Freeze itself is not safe to run concurrently with mutators;
+// callers freeze while they still hold whatever lock guarded the tree
+// (the repository freezes version clones under the document read lock).
+func (n *Node) Freeze() {
+	n.frozen = true
+	for _, a := range n.attrs {
+		a.Freeze()
+	}
+	for _, c := range n.kids {
+		c.Freeze()
+	}
+}
+
+// Frozen reports whether the node is frozen.
+func (n *Node) Frozen() bool { return n.frozen }
+
+// Freeze marks the whole document tree immutable (see Node.Freeze).
+func (d *Document) Freeze() { d.node.Freeze() }
+
+// Frozen reports whether the document is frozen.
+func (d *Document) Frozen() bool { return d.node.frozen }
+
+// mustThaw panics when n is frozen; void mutators call it first.
+func (n *Node) mustThaw() {
+	if n.frozen {
+		panic(frozenPanic)
+	}
+}

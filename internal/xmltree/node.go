@@ -63,6 +63,7 @@ var (
 // construct nodes with NewElement and friends or by parsing.
 type Node struct {
 	kind   Kind
+	frozen bool   // immutable snapshot node (freeze.go); mutators refuse it
 	name   string // element/attribute name, PI target
 	value  string // attribute value, text/comment content, PI data
 	parent *Node
@@ -97,15 +98,16 @@ func (n *Node) Name() string { return n.name }
 
 // SetName renames an element, attribute or processing instruction.
 // Renaming is a content update in the paper's taxonomy (§3.1) and never
-// affects labels.
-func (n *Node) SetName(name string) { n.name = name }
+// affects labels. Panics on a frozen node (see freeze.go).
+func (n *Node) SetName(name string) { n.mustThaw(); n.name = name }
 
 // Value returns the node's own data value: attribute value, text content,
 // comment text or PI data. Elements return "".
 func (n *Node) Value() string { return n.value }
 
-// SetValue updates the node's data value (content update).
-func (n *Node) SetValue(v string) { n.value = v }
+// SetValue updates the node's data value (content update). Panics on
+// a frozen node (see freeze.go).
+func (n *Node) SetValue(v string) { n.mustThaw(); n.value = v }
 
 // Parent returns the parent node, or nil for a detached node or the
 // document root.
@@ -279,6 +281,9 @@ func (n *Node) canContain(c *Node) error {
 // SetAttr sets (or replaces) an attribute value and returns the attribute
 // node. New attributes are appended after existing ones.
 func (n *Node) SetAttr(name, value string) (*Node, error) {
+	if n.frozen {
+		return nil, ErrFrozen
+	}
 	if n.kind != KindElement {
 		return nil, fmt.Errorf("%w: attributes on %v", ErrWrongKind, n.kind)
 	}
@@ -296,6 +301,9 @@ func (n *Node) SetAttr(name, value string) (*Node, error) {
 
 // AppendAttr appends an attribute node, preserving insertion order.
 func (n *Node) AppendAttr(a *Node) error {
+	if n.frozen || a.frozen {
+		return ErrFrozen
+	}
 	if n.kind != KindElement {
 		return fmt.Errorf("%w: attributes on %v", ErrWrongKind, n.kind)
 	}
@@ -313,6 +321,9 @@ func (n *Node) AppendAttr(a *Node) error {
 // InsertAttrAt inserts a as the i-th attribute of n (clamped to the
 // list bounds), preserving the order of the others.
 func (n *Node) InsertAttrAt(i int, a *Node) error {
+	if n.frozen || a.frozen {
+		return ErrFrozen
+	}
 	if n.kind != KindElement {
 		return fmt.Errorf("%w: attributes on %v", ErrWrongKind, n.kind)
 	}
@@ -336,7 +347,9 @@ func (n *Node) InsertAttrAt(i int, a *Node) error {
 }
 
 // RemoveAttr removes the named attribute, reporting whether it existed.
+// Panics on a frozen node (see freeze.go).
 func (n *Node) RemoveAttr(name string) bool {
+	n.mustThaw()
 	for i, a := range n.attrs {
 		if a.name == name {
 			n.attrs = append(n.attrs[:i], n.attrs[i+1:]...)
@@ -349,6 +362,9 @@ func (n *Node) RemoveAttr(name string) bool {
 
 // InsertChildAt inserts c as the i-th non-attribute child of n.
 func (n *Node) InsertChildAt(i int, c *Node) error {
+	if n.frozen || c.frozen {
+		return ErrFrozen
+	}
 	if err := n.canContain(c); err != nil {
 		return err
 	}
@@ -402,8 +418,10 @@ func InsertAfter(ref, c *Node) error {
 }
 
 // Detach removes n from its parent, leaving n (and its subtree) intact.
-// Detaching an already detached node is a no-op.
+// Detaching an already detached node is a no-op. Panics on a frozen
+// node (see freeze.go).
 func (n *Node) Detach() {
+	n.mustThaw()
 	p := n.parent
 	if p == nil {
 		return
@@ -427,7 +445,8 @@ func (n *Node) Detach() {
 }
 
 // Clone returns a deep copy of the subtree rooted at n. The copy is
-// detached.
+// detached and always mutable: frozenness is a property of the
+// original snapshot, never of a copy (freeze.go).
 func (n *Node) Clone() *Node {
 	c := &Node{kind: n.kind, name: n.name, value: n.value}
 	for _, a := range n.attrs {

@@ -1,11 +1,13 @@
 #!/bin/sh
 # Regenerates BENCH_repo.json: the repository/batching/durability perf
 # trajectory. Besides the Go benchmarks (including BenchmarkRecovery,
-# the crash-recovery timing, and BenchmarkMultiBatch, the
-# multi-document transaction cost), it runs the C11 recovery and C12
-# multi-document experiments and folds their rows in, so
-# recovery-time-vs-history and multi-vs-per-doc numbers are tracked
-# across PRs too. Run from the repo root:
+# the crash-recovery timing, BenchmarkMultiBatch, the multi-document
+# transaction cost, and BenchmarkSnapshotRead, the MVCC-vs-RWMutex
+# read path), it runs the C11 recovery, C12 multi-document and C13
+# snapshot-read experiments and folds their rows in, so
+# recovery-time-vs-history, multi-vs-per-doc and MVCC-vs-lock reader
+# throughput numbers are tracked across PRs too. Run from the repo
+# root:
 #
 #	sh scripts/bench_repo.sh
 set -e
@@ -27,9 +29,17 @@ c12=$(go run ./cmd/xbench -exp C12 -quick -csv | awk -F, '
 		sep = ",\n"
 	}')
 
-go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit|BenchmarkRecovery|BenchmarkMultiBatch' \
+# C13: MVCC snapshot reads vs RWMutex-held reads under writer load
+# (CSV: mode,writers,readers,queries,total ms,queries/s,writes/s).
+c13=$(go run ./cmd/xbench -exp C13 -quick -csv | awk -F, '
+	NR > 1 {
+		printf "%s    {\"mode\": \"%s\", \"writers\": %s, \"readers\": %s, \"queries\": %s, \"total_ms\": %s, \"queries_per_s\": %s, \"writes_per_s\": %s}", sep, $1, $2, $3, $4, $5, $6, $7
+		sep = ",\n"
+	}')
+
+go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit|BenchmarkRecovery|BenchmarkMultiBatch|BenchmarkSnapshotRead|BenchmarkSnapshotPin' \
 	-benchmem -benchtime 1s . |
-	awk -v c11="$c11" -v c12="$c12" '
+	awk -v c11="$c11" -v c12="$c12" -v c13="$c13" '
 	/^goos:/    { goos = $2 }
 	/^goarch:/  { goarch = $2 }
 	/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
@@ -43,6 +53,7 @@ go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|Benc
 		printf "\n  ],\n"
 		printf "  \"c11_recovery\": [\n%s\n  ],\n", c11
 		printf "  \"c12_multidoc\": [\n%s\n  ],\n", c12
+		printf "  \"c13_snapshot_reads\": [\n%s\n  ],\n", c13
 		printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
 	}
 	BEGIN { printf "{\n  \"suite\": \"repo\",\n  \"benchmarks\": [\n" }

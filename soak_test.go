@@ -4,11 +4,15 @@ package xmldyn
 // size that still runs in seconds. Skipped under -short.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"xmldyn/internal/core"
+	"xmldyn/internal/repo"
 	"xmldyn/internal/update"
 	"xmldyn/internal/workload"
+	"xmldyn/internal/xmltree"
 )
 
 func TestSoakLargeDocumentBulk(t *testing.T) {
@@ -69,5 +73,110 @@ func TestSoakStormTenThousandOps(t *testing.T) {
 	}
 	if err := s.Document().Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSoakSnapshotChurn hammers the MVCC layer: writers commit
+// continuously while readers open, read and close snapshots by the
+// thousand. At the end every version must be reclaimed — the
+// no-leak guarantee of docs/CONCURRENCY.md §4.
+func TestSoakSnapshotChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	const (
+		docs           = 4
+		writers        = 2
+		readers        = 4
+		readsPerReader = 250
+	)
+	r := repo.New(repo.Options{})
+	names := make([]string, docs)
+	for i := range names {
+		names[i] = fmt.Sprintf("doc%d", i)
+		doc, err := xmltree.ParseString("<r><seed/></r>")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Open(names[i], doc, "qed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := names[w%docs]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, _ := r.Get(name)
+				err := d.Update(func(s *update.Session) error {
+					root := s.Document().Root()
+					if _, err := s.AppendChild(root, "item"); err != nil {
+						return err
+					}
+					if kids := root.Children(); len(kids) > 48 {
+						return s.Delete(kids[0])
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				snap, err := r.Snapshot(names...)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, name := range names {
+					if _, err := snap.Query(name, "//item"); err != nil {
+						t.Error(err)
+						snap.Close()
+						return
+					}
+				}
+				snap.Close()
+			}
+		}()
+	}
+	rg.Wait()
+	close(stop)
+	wg.Wait()
+	st := r.VersionStats()
+	if st.OpenSnapshots != 0 || st.PinnedVersions != 0 {
+		t.Fatalf("snapshot soak leaked pins: %+v", st)
+	}
+	// Only the per-document cached current versions may remain, and
+	// one more write per document reclaims even those.
+	if st.LiveVersions > docs {
+		t.Fatalf("snapshot soak leaked versions: %+v", st)
+	}
+	for _, name := range names {
+		d, _ := r.Get(name)
+		if err := d.Update(func(s *update.Session) error {
+			_, err := s.AppendChild(s.Document().Root(), "final")
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := r.VersionStats(); st.LiveVersions != 0 {
+		t.Fatalf("superseded versions survived the final writes: %+v", st)
 	}
 }

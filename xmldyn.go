@@ -19,15 +19,21 @@
 // locks, queries running in parallel with per-document-serialized
 // writers, batched update transactions (Session.Batch, ApplyBatch)
 // that verify document order once per batch instead of once per op,
-// and atomic multi-document transactions (MultiBatch) that commit
-// across several named documents or roll back across all of them.
-// SaveRepository/RestoreRepository round-trip the whole repository
-// through one checksummed container, and NewDurableRepository backs
-// the same layer with a write-ahead log: committed batches survive a
-// crash and replay to the identical state, with a multi-document
-// transaction logged as one record so recovery is all-or-nothing too
-// (docs/DURABILITY.md specifies the on-disk format and recovery
-// protocol).
+// atomic multi-document transactions (MultiBatch) that commit
+// across several named documents or roll back across all of them,
+// and MVCC snapshot reads (Repository.Snapshot → RepoSnapshot): a
+// snapshot pins an immutable, transaction-consistent version of one
+// or more documents and serves every read from it with no lock held,
+// so slow readers never stall writers and a multi-document snapshot
+// can never observe a MultiBatch half applied (docs/CONCURRENCY.md
+// specifies the consistency model; RepoVersionStats exposes the
+// version accounting). SaveRepository/RestoreRepository round-trip
+// the whole repository through one checksummed container, and
+// NewDurableRepository backs the same layer with a write-ahead log:
+// committed batches survive a crash and replay to the identical
+// state, with a multi-document transaction logged as one record so
+// recovery is all-or-nothing too (docs/DURABILITY.md specifies the
+// on-disk format and recovery protocol).
 //
 // Quick start:
 //
@@ -414,12 +420,28 @@ type (
 	// it; the durable variant logs the whole transaction as one WAL
 	// record, so crash recovery is all-or-nothing too.
 	MultiDoc = repo.MultiDoc
+	// RepoSnapshot is a pinned, immutable, transaction-consistent
+	// view of one or more repository documents (Repository.Snapshot /
+	// DurableRepository.Snapshot): reads on it hold no lock, always
+	// observe the identical committed state, and cannot see a
+	// MultiBatch half applied. Close it when done so its versions can
+	// be reclaimed. docs/CONCURRENCY.md specifies the full model.
+	RepoSnapshot = repo.Snapshot
+	// RepoVersionStats is the repository's MVCC accounting — open
+	// snapshots, pinned versions, live materialised version trees —
+	// for leak triage (docs/OPERATIONS.md §7).
+	RepoVersionStats = repo.VersionStats
 )
 
 // Repository errors re-exported for errors.Is.
 var (
 	ErrRepoExists   = repo.ErrExists
 	ErrRepoNotFound = repo.ErrNotFound
+	// ErrSnapshotClosed reports a read on a RepoSnapshot after Close.
+	ErrSnapshotClosed = repo.ErrSnapshotClosed
+	// ErrFrozen reports a mutation attempted on a frozen snapshot
+	// node; Clone the node for a mutable copy (docs/CONCURRENCY.md §6).
+	ErrFrozen = xmltree.ErrFrozen
 )
 
 // NewRepository creates an empty repository (zero options give 16
