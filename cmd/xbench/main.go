@@ -13,12 +13,20 @@
 //	xbench -exp C6      # run one experiment
 //	xbench -quick       # smaller workloads
 //	xbench -exp C12 -csv  # machine-readable rows (bench_repo.sh uses this)
+//	xbench -exp C13 -cpuprofile cpu.pb.gz   # profile one experiment
+//	xbench -exp C13 -memprofile mem.pb.gz   # heap profile at exit
+//
+// The profiles are standard runtime/pprof output; inspect them with
+// `go tool pprof <binary|.> cpu.pb.gz`. docs/OPERATIONS.md §8 walks
+// through the workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"xmldyn/internal/core"
@@ -29,8 +37,38 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (C1-C13); empty runs all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	csv := flag.Bool("csv", false, "print tables as CSV (header + rows only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if err := run(strings.ToUpper(*exp), *quick, *csv); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(strings.ToUpper(*exp), *quick, *csv)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr == nil {
+			runtime.GC() // settle the heap so the profile shows live data
+			merr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		if merr != nil && err == nil {
+			err = merr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)
 	}

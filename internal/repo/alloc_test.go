@@ -1,0 +1,170 @@
+package repo
+
+import (
+	"strings"
+	"testing"
+
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// The allocation guards below pin down the two properties that make
+// persistent versions cheap, so the old copy-the-world cliff cannot
+// silently return:
+//
+//   - pinning a snapshot is O(1) allocations, independent of document
+//     size (the commit hook already published the immutable version);
+//   - committing a change republishes only the mutated spine, so a
+//     flat document costs the same at any width and a deep chain costs
+//     O(depth).
+//
+// Auto-verify is switched off so the numbers measure the version
+// machinery, not the per-commit order verification walk.
+
+// allocRepo builds a repository holding one document parsed from xml,
+// with versioning activated and the lazy paths warmed, plus a write
+// helper that renames the node navigate returns (a content-only op
+// that still supersedes the published version).
+func allocRepo(t *testing.T, xml string, navigate func(*xmltree.Document) *xmltree.Node) (*Repository, func()) {
+	t.Helper()
+	off := false
+	r := New(Options{AutoVerify: &off})
+	doc, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("a", doc, "qed"); err != nil {
+		t.Fatal(err)
+	}
+	flip := false
+	write := func() {
+		flip = !flip
+		name := "ta"
+		if flip {
+			name = "tb"
+		}
+		if err := r.Update("a", func(s *update.Session) error {
+			return s.Rename(navigate(s.Document()), name)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Activate versioning (sticky) and warm every lazy path once.
+	s, err := r.Snapshot("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	write()
+	s, err = r.Snapshot("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	return r, write
+}
+
+func wideXML(width int) string {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < width; i++ {
+		sb.WriteString("<c/>")
+	}
+	sb.WriteString("</r>")
+	return sb.String()
+}
+
+func deepXML(depth int) string {
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<n>")
+	}
+	sb.WriteString("<leaf/>")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</n>")
+	}
+	return sb.String()
+}
+
+func leafOf(d *xmltree.Document) *xmltree.Node {
+	n := d.Root()
+	for c := n.FirstChild(); c != nil; c = n.FirstChild() {
+		n = c
+	}
+	return n
+}
+
+// TestSnapshotPinAllocsConstant: pinning costs a handful of
+// allocations — the Snapshot wrapper and bookkeeping — and the number
+// does not grow with document size, whether the pinned version is
+// cached or freshly superseded by a commit.
+func TestSnapshotPinAllocsConstant(t *testing.T) {
+	widths := []int{64, 2048}
+	cached := map[int]float64{}
+	fresh := map[int]float64{}
+	for _, w := range widths {
+		r, write := allocRepo(t, wideXML(w), (*xmltree.Document).Root)
+		cached[w] = testing.AllocsPerRun(100, func() {
+			snap, err := r.Snapshot("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap.Close()
+		})
+		writeOnly := testing.AllocsPerRun(100, write)
+		both := testing.AllocsPerRun(100, func() {
+			write()
+			snap, err := r.Snapshot("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap.Close()
+		})
+		fresh[w] = both - writeOnly
+	}
+	for _, w := range widths {
+		if cached[w] > 10 {
+			t.Errorf("cached pin at width %d: %.1f allocs, want <= 10", w, cached[w])
+		}
+		if fresh[w] > 15 {
+			t.Errorf("fresh pin at width %d: %.1f allocs, want <= 15", w, fresh[w])
+		}
+	}
+	if d := cached[2048] - cached[64]; d < -2 || d > 2 {
+		t.Errorf("cached pin scales with width: %.1f vs %.1f allocs", cached[64], cached[2048])
+	}
+	if d := fresh[2048] - fresh[64]; d < -4 || d > 4 {
+		t.Errorf("fresh pin scales with width: %.1f vs %.1f allocs", fresh[64], fresh[2048])
+	}
+}
+
+// TestCommitPublishAllocsSpineBounded: with versioning active, a
+// commit republishes only the mutated spine — constant allocations on
+// a flat document regardless of width, and O(depth) on a chain.
+func TestCommitPublishAllocsSpineBounded(t *testing.T) {
+	// Width-independence: the root spine of a flat document is one
+	// node however many children hang off it.
+	wide := map[int]float64{}
+	for _, w := range []int{64, 4096} {
+		_, write := allocRepo(t, wideXML(w), (*xmltree.Document).Root)
+		wide[w] = testing.AllocsPerRun(100, write)
+	}
+	if d := wide[4096] - wide[64]; d < -3 || d > 3 {
+		t.Errorf("flat-doc commit scales with width: %.1f vs %.1f allocs", wide[64], wide[4096])
+	}
+
+	// Depth scaling: renaming the leaf of a chain republishes the
+	// whole spine — more allocations than the shallow chain, but
+	// bounded by a small constant per level, never the whole tree.
+	deep := map[int]float64{}
+	for _, d := range []int{8, 64} {
+		_, write := allocRepo(t, deepXML(d), leafOf)
+		deep[d] = testing.AllocsPerRun(100, write)
+	}
+	const levels = 64 - 8
+	grow := deep[64] - deep[8]
+	if grow < levels || grow > 4*levels {
+		t.Errorf("deep-chain commit growth %.1f allocs over %d levels, want [%d, %d]",
+			grow, levels, levels, 4*levels)
+	}
+}

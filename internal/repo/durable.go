@@ -99,7 +99,10 @@ const DefaultAutoCheckpointBytes = 16 << 20
 
 // DurableOptions configures OpenDurable.
 type DurableOptions struct {
-	// Repo configures the in-memory repository (shards, auto-verify).
+	// Repo configures the in-memory repository (shards, auto-verify,
+	// and the SnapshotAt retained-version window via RetainVersions —
+	// versions are an in-memory construct, so the window resets on
+	// recovery).
 	Repo Options
 	// Sync is the WAL fsync policy (default wal.SyncPerCommit).
 	Sync wal.SyncPolicy

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xmldyn/internal/core"
 	"xmldyn/internal/encoding"
@@ -80,6 +81,13 @@ type Options struct {
 	// clients should never publish an unverified document. Turn it off
 	// for bulk loads where the caller verifies at the end.
 	AutoVerify *bool
+	// RetainVersions bounds the per-document time-travel window: the
+	// last RetainVersions superseded versions of each document are
+	// retained for SnapshotAt reads (version.go). Zero (the default)
+	// retains nothing — SnapshotAt can only reach each document's
+	// current state. Retained versions share structure with the live
+	// tree, so the cost is per-version spine roots, not tree copies.
+	RetainVersions int
 }
 
 // Repository manages many named labelled documents for concurrent use.
@@ -89,6 +97,17 @@ type Repository struct {
 	// vstats is the repository-wide MVCC accounting behind
 	// VersionStats (version.go).
 	vstats versionStats
+	// clock is the global commit stamp (Stamp): advanced on every
+	// document open and every committed mutation; SnapshotAt reads the
+	// repository as of a stamp.
+	clock atomic.Uint64
+	// versioning is sticky: set by the first snapshot (or at New when
+	// RetainVersions > 0), it switches commit hooks from counter-only
+	// updates to eager persistent publication, so snapshot pins stay
+	// O(1) while snapshot-free write workloads pay nothing.
+	versioning atomic.Bool
+	// retain is Options.RetainVersions.
+	retain int
 }
 
 type shard struct {
@@ -119,6 +138,17 @@ type Doc struct {
 	verSeq  uint64
 	cur     *docVersion
 	dropped bool
+	// Persistent publication state (version.go): green is the last
+	// published version root with its seq/stamp (pubSeq, pubStamp);
+	// stamp is the global commit stamp of the current state; hist is
+	// the retained time-travel window, oldest first. repo links back
+	// to the owning repository for its clock, stats and policy.
+	repo     *Repository
+	green    *xmltree.Node
+	pubSeq   uint64
+	pubStamp uint64
+	stamp    uint64
+	hist     []*docVersion
 }
 
 // New creates an empty repository.
@@ -131,7 +161,12 @@ func New(opts Options) *Repository {
 	if opts.AutoVerify != nil {
 		av = *opts.AutoVerify
 	}
-	r := &Repository{shards: make([]shard, n), autoVerify: av}
+	r := &Repository{shards: make([]shard, n), autoVerify: av, retain: opts.RetainVersions}
+	if r.retain > 0 {
+		// A time-travel window needs every committed state published,
+		// so eager publication is on from the start.
+		r.versioning.Store(true)
+	}
 	for i := range r.shards {
 		r.shards[i].docs = make(map[string]*Doc)
 	}
@@ -201,13 +236,22 @@ func (r *Repository) add(name, scheme string, sess *update.Session) (*Doc, error
 	// Adopt the session into the repository's verification policy
 	// before it becomes reachable by name.
 	sess.SetAutoVerify(r.autoVerify)
-	d := &Doc{name: name, scheme: scheme, sess: sess, verSeq: InitialVersionSeq}
+	d := &Doc{name: name, scheme: scheme, sess: sess, verSeq: InitialVersionSeq, repo: r}
+	d.stamp = r.clock.Add(1)
+	if r.versioning.Load() {
+		// With a retained window configured, the opened state itself
+		// must be reachable by SnapshotAt, so publish it up front.
+		d.green = sess.Document().PublishVersion(d.verSeq)
+		d.pubSeq = d.verSeq
+		d.pubStamp = d.stamp
+	}
 	// Every committed mutation — single op, batch or rollback, plain or
-	// durable, live or replayed — supersedes the document's published
-	// MVCC version (version.go). The hook fires while the writer still
-	// holds the document's write lock, so snapshot readers (read lock)
-	// can never pin a mid-commit state.
-	sess.SetOnCommit(d.invalidateVersion)
+	// durable, live or replayed — republishes the document's persistent
+	// MVCC version and supersedes the previous one (version.go). The
+	// hook fires while the writer still holds the document's write
+	// lock, so snapshot readers (read lock) can never pin a mid-commit
+	// state.
+	sess.SetOnCommit(d.publishVersion)
 	sh.docs[name] = d
 	return d, nil
 }

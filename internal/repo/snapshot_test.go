@@ -388,11 +388,11 @@ func TestSnapshotRacingDropDoesNotLeakVersion(t *testing.T) {
 	// White box: replay Snapshot's per-document steps on the stale
 	// slot pointer, as the racing goroutine would.
 	d.mu.RLock()
-	v := d.pinCurrent(&r.vstats)
-	tree := v.materialise(d.sess.Document())
+	v := d.pinCurrent()
+	tree := v.document()
 	d.mu.RUnlock()
 	if tree == nil || tree.Root() == nil {
-		t.Fatal("materialise on a dropped slot returned no tree")
+		t.Fatal("pin on a dropped slot returned no tree")
 	}
 	if st := r.VersionStats(); st.LiveVersions != 1 || st.PinnedVersions != 1 {
 		t.Fatalf("mid-pin stats: %+v", st)

@@ -1,0 +1,289 @@
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"xmldyn/internal/update"
+	"xmldyn/internal/xmltree"
+)
+
+// travelRepo builds a retain-window repository with one "a" document
+// and returns it with a helper that appends one child and returns the
+// stamp of the resulting state.
+func travelRepo(t *testing.T, retain int) (*Repository, func(tag string) uint64) {
+	t.Helper()
+	r := New(Options{RetainVersions: retain})
+	doc, err := xmltree.ParseString("<r><seed/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("a", doc, "qed"); err != nil {
+		t.Fatal(err)
+	}
+	write := func(tag string) uint64 {
+		t.Helper()
+		if err := r.Update("a", func(s *update.Session) error {
+			_, err := s.AppendChild(s.Document().Root(), tag)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return r.Stamp()
+	}
+	return r, write
+}
+
+// rootChildren lists the root's child names in a snapshot's view.
+func rootChildren(t *testing.T, s *Snapshot, name string) []string {
+	t.Helper()
+	doc, err := s.Document(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, c := range doc.Root().Children() {
+		out = append(out, c.Name())
+	}
+	return out
+}
+
+// TestSnapshotAtReadsHistoricalStates: each retained stamp resolves to
+// exactly the state committed at that stamp.
+func TestSnapshotAtReadsHistoricalStates(t *testing.T) {
+	r, write := travelRepo(t, 8)
+	openStamp := r.Stamp()
+	var stamps []uint64
+	for i := 0; i < 4; i++ {
+		stamps = append(stamps, write(fmt.Sprintf("c%d", i)))
+	}
+
+	// The opened state (just <seed/>) is retained too.
+	snap, err := r.SnapshotAt(openStamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rootChildren(t, snap, "a"); len(got) != 1 || got[0] != "seed" {
+		t.Fatalf("opened-state view: %v", got)
+	}
+	snap.Close()
+
+	for i, stamp := range stamps {
+		snap, err := r.SnapshotAt(stamp)
+		if err != nil {
+			t.Fatalf("stamp %d: %v", stamp, err)
+		}
+		got := rootChildren(t, snap, "a")
+		if len(got) != i+2 || got[len(got)-1] != fmt.Sprintf("c%d", i) {
+			t.Fatalf("stamp %d: view %v", stamp, got)
+		}
+		snap.Close()
+	}
+
+	// A stamp at or past the current one resolves to the live state.
+	snap, err = r.SnapshotAt(r.Stamp() + 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rootChildren(t, snap, "a"); len(got) != 5 {
+		t.Fatalf("future stamp does not see current state: %v", got)
+	}
+	snap.Close()
+}
+
+// TestSnapshotAtWindowEviction: the retained window is bounded; stamps
+// older than it fail with ErrVersionEvicted, and the RetainedVersions
+// gauge tracks the bound.
+func TestSnapshotAtWindowEviction(t *testing.T) {
+	const retain = 3
+	r, write := travelRepo(t, retain)
+	openStamp := r.Stamp()
+	var stamps []uint64
+	for i := 0; i < 10; i++ {
+		stamps = append(stamps, write(fmt.Sprintf("c%d", i)))
+	}
+	st := r.VersionStats()
+	if st.RetainedVersions != retain {
+		t.Fatalf("RetainedVersions = %d, want %d", st.RetainedVersions, retain)
+	}
+	// Aged-out window entries must release their roots: with no open
+	// snapshots the only live versions are the retained ones, however
+	// many commits have churned past the window.
+	if st.LiveVersions != retain {
+		t.Fatalf("LiveVersions = %d, want %d (aged-out versions must release)", st.LiveVersions, retain)
+	}
+	if _, err := r.SnapshotAt(openStamp); !errors.Is(err, ErrVersionEvicted) {
+		t.Fatalf("evicted opened state: err = %v", err)
+	}
+	if _, err := r.SnapshotAt(stamps[2]); !errors.Is(err, ErrVersionEvicted) {
+		t.Fatalf("evicted stamp: err = %v", err)
+	}
+	// The youngest retained stamps still resolve.
+	for _, stamp := range stamps[len(stamps)-retain:] {
+		snap, err := r.SnapshotAt(stamp)
+		if err != nil {
+			t.Fatalf("retained stamp %d: %v", stamp, err)
+		}
+		snap.Close()
+	}
+}
+
+// TestSnapshotAtZeroRetention: with the default RetainVersions of 0,
+// SnapshotAt reaches only the current state.
+func TestSnapshotAtZeroRetention(t *testing.T) {
+	r, write := travelRepo(t, 0)
+	old := write("c0")
+	write("c1")
+	snap, err := r.SnapshotAt(r.Stamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rootChildren(t, snap, "a"); len(got) != 3 {
+		t.Fatalf("current view: %v", got)
+	}
+	snap.Close()
+	if _, err := r.SnapshotAt(old); !errors.Is(err, ErrVersionEvicted) {
+		t.Fatalf("zero-retention historical read: err = %v", err)
+	}
+	if st := r.VersionStats(); st.RetainedVersions != 0 {
+		t.Fatalf("RetainedVersions = %d, want 0", st.RetainedVersions)
+	}
+}
+
+// TestSnapshotStampsRoundTrip: the stamps a Snapshot reports resolve
+// back, via SnapshotAt, to the same versions.
+func TestSnapshotStampsRoundTrip(t *testing.T) {
+	r, write := travelRepo(t, 4)
+	write("c0")
+	snap, err := r.Snapshot("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp := snap.Stamps()["a"]
+	write("c1")
+	write("c2")
+
+	back, err := r.SnapshotAt(stamp, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Versions()["a"], snap.Versions()["a"]; got != want {
+		t.Fatalf("round-trip pinned version %d, want %d", got, want)
+	}
+	d1, _ := snap.Document("a")
+	d2, _ := back.Document("a")
+	if d1 != d2 {
+		t.Fatal("round-trip did not share the pinned version's tree")
+	}
+	back.Close()
+	snap.Close()
+}
+
+// TestSnapshotAtGaugesReturnToZero: retained versions release on drop
+// and the gauges settle after snapshots close.
+func TestSnapshotAtGaugesReturnToZero(t *testing.T) {
+	r, write := travelRepo(t, 4)
+	stamp := write("c0")
+	write("c1")
+	snap, err := r.SnapshotAt(stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+	if !r.Drop("a") {
+		t.Fatal("drop failed")
+	}
+	st := r.VersionStats()
+	if st.RetainedVersions != 0 || st.PinnedVersions != 0 || st.OpenSnapshots != 0 || st.LiveVersions != 0 {
+		t.Fatalf("gauges after drop: %+v", st)
+	}
+}
+
+// TestSnapshotAtSharedStructure: a retained version and the live tree
+// share untouched subtrees (pointer identity through snapshots of
+// both), which is what makes the window cheap.
+func TestSnapshotAtSharedStructure(t *testing.T) {
+	r, write := travelRepo(t, 4)
+	stamp := write("c0")
+	write("c1")
+
+	old, err := r.SnapshotAt(stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	cur, err := r.Snapshot("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+
+	oldDoc, _ := old.Document("a")
+	curDoc, _ := cur.Document("a")
+	if got := len(oldDoc.Root().Children()); got != 2 {
+		t.Fatalf("old view children: %d", got)
+	}
+	if got := len(curDoc.Root().Children()); got != 3 {
+		t.Fatalf("current view children: %d", got)
+	}
+	// The views are distinct trees, but the persistent nodes under
+	// them share birth sequences for untouched subtrees: the seed child
+	// was born at publication of the opened state in both.
+	ob := oldDoc.Root().Children()[0].BirthSeq()
+	cb := curDoc.Root().Children()[0].BirthSeq()
+	if ob != cb {
+		t.Fatalf("seed subtree recopied: birth %d vs %d", ob, cb)
+	}
+}
+
+// TestDurableSnapshotAt: the knob and the read path work through the
+// durable facade; the window resets on recovery.
+func TestDurableSnapshotAt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	dr, err := OpenDurable(dir, DurableOptions{Repo: Options{RetainVersions: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString("<r><seed/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dr.Open("a", doc, "qed"); err != nil {
+		t.Fatal(err)
+	}
+	stamp := dr.Stamp()
+	if _, err := dr.Batch("a", func(d *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(d.Root(), "late")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := dr.SnapshotAt(stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rootChildren(t, snap, "a"); len(got) != 1 {
+		t.Fatalf("durable historical view: %v", got)
+	}
+	snap.Close()
+	if err := dr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery starts a fresh window: the pre-restart stamp is gone.
+	dr2, err := OpenDurable(dir, DurableOptions{Repo: Options{RetainVersions: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr2.Close()
+	snap2, err := dr2.Snapshot("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rootChildren(t, snap2, "a"); len(got) != 2 {
+		t.Fatalf("recovered live view: %v", got)
+	}
+	snap2.Close()
+}

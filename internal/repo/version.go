@@ -1,36 +1,46 @@
-// MVCC snapshot reads: the version chain behind Repository.Snapshot.
-// docs/CONCURRENCY.md is the authoritative specification of the
-// consistency model this file implements; the shape in brief:
+// MVCC snapshot reads: the persistent version chain behind
+// Repository.Snapshot and Repository.SnapshotAt. docs/CONCURRENCY.md
+// is the authoritative specification of the consistency model this
+// file implements; the shape in brief:
 //
 //   - Every document carries a version sequence number, starting at
 //     InitialVersionSeq when the document is opened and advancing on
 //     every committed mutation (the update layer's commit hook fires
 //     once per committed op, batch or rollback, always under the
 //     document's write lock).
-//   - A version's tree is materialised lazily: the first snapshot to
-//     pin a version deep-copies the live document UNDER the document's
-//     read lock, freezes the copy (xmltree's frozen bit), and every
-//     later snapshot of the same version shares that one frozen tree.
-//     Writers never pay for versions nobody reads.
-//   - Snapshot readers then run against the frozen tree with NO lock
-//     held: a slow reader cannot stall writers, and a writer storm
-//     cannot starve readers (the C13 experiment measures both).
+//   - Versions are persistent, structure-sharing trees
+//     (xmltree.PublishVersion): committing a mutation republishes only
+//     the changed spine, sharing every untouched subtree with the
+//     previous version. Publication runs in the commit hook once any
+//     snapshot exists (before that, writers pay nothing and the first
+//     pin publishes the accumulated delta under the read lock), so
+//     pinning a version is O(1): no materialise step, no deep copy.
+//   - Snapshot readers then run against the published version with NO
+//     lock held: a slow reader cannot stall writers, and a writer
+//     storm cannot starve readers (the C13 experiment measures both).
 //   - Version lifetime is reference-counted for deterministic memory
-//     accounting: a version's tree is released as soon as it is both
-//     superseded (a newer commit exists, or the document was dropped)
-//     and unpinned (no open snapshot references it). The current
-//     version of a live document stays cached even when unpinned — it
-//     is what the next snapshot will share.
+//     accounting: a version releases its tree reference as soon as it
+//     is superseded (a newer commit exists, or the document was
+//     dropped), unpinned (no open snapshot references it) and outside
+//     the retained time-travel window. The current version of a live
+//     document stays cached even when unpinned — it is what the next
+//     snapshot will share. Subtrees shared with younger versions stay
+//     reachable through them; release only drops this version's root.
+//   - With Options.RetainVersions > 0, the last N superseded versions
+//     of each document are retained for SnapshotAt time-travel reads,
+//     keyed by a repository-wide commit stamp (Repository.Stamp).
 //
-// Lock order: Snapshot acquires the requested documents' read locks in
-// sorted-name order — the same single global order MultiBatch (write
-// locks) and Save (read locks) use — captures and materialises every
-// version while ALL those read locks are held, and releases them
-// before returning. Holding the full read-lock set at capture time is
-// the multi-document consistency argument: a MultiBatch over any
-// subset of the snapshot's documents holds all its write locks until
-// its versions are installed, so the snapshot observes the transaction
-// on every involved document or on none (never a torn prefix).
+// Lock order: Snapshot and SnapshotAt acquire the requested documents'
+// read locks in sorted-name order — the same single global order
+// MultiBatch (write locks) and Save (read locks) use — capture every
+// version while ALL those read locks are held, and release them before
+// returning. Holding the full read-lock set at capture time is the
+// multi-document consistency argument for Snapshot: a MultiBatch over
+// any subset of the snapshot's documents holds all its write locks
+// until its versions are installed, so the snapshot observes the
+// transaction on every involved document or on none (never a torn
+// prefix). SnapshotAt is per-document consistent but its historical
+// cuts can be torn ACROSS documents — see the method comment.
 // (File comment — the package doc lives in repo.go.)
 
 package repo
@@ -48,6 +58,11 @@ import (
 // ErrSnapshotClosed reports a read on a snapshot after Close.
 var ErrSnapshotClosed = errors.New("repo: snapshot is closed")
 
+// ErrVersionEvicted reports a SnapshotAt stamp older than the
+// document's retained version window (or older than the document
+// itself).
+var ErrVersionEvicted = errors.New("repo: version not in the retained window")
+
 // InitialVersionSeq is the version sequence number of a freshly opened
 // document: version 0 is the state the document was opened with, and
 // every committed mutation advances the sequence by at least one
@@ -57,14 +72,15 @@ const InitialVersionSeq uint64 = 0
 // versionStats aggregates repository-wide version accounting; the
 // exported view is VersionStats.
 type versionStats struct {
-	open   atomic.Int64 // snapshots opened and not yet closed
-	pinned atomic.Int64 // versions referenced by at least one open snapshot
-	live   atomic.Int64 // materialised version trees not yet released
+	open     atomic.Int64 // snapshots opened and not yet closed
+	pinned   atomic.Int64 // versions referenced by at least one open snapshot
+	live     atomic.Int64 // version descriptors holding a tree reference
+	retained atomic.Int64 // superseded versions kept for time travel
 }
 
 // VersionStats is a point-in-time view of the repository's MVCC
 // accounting, for operators triaging snapshot leaks and GC backlogs
-// (docs/OPERATIONS.md §7). All three gauges are exact, not sampled.
+// (docs/OPERATIONS.md §7). All four gauges are exact, not sampled.
 type VersionStats struct {
 	// OpenSnapshots counts snapshots opened and not yet closed. A
 	// monotonically climbing value under steady load is a snapshot
@@ -74,18 +90,25 @@ type VersionStats struct {
 	// snapshot. Superseded-but-pinned versions are the "GC backlog":
 	// memory that cannot be released until their snapshots close.
 	PinnedVersions int64
-	// LiveVersions counts materialised (frozen, deep-copied) version
-	// trees currently retained — pinned ones plus at most one cached
-	// current version per document.
+	// LiveVersions counts version descriptors currently holding a
+	// version-tree reference — pinned ones, at most one cached current
+	// version per document, plus the retained time-travel window.
+	// Persistent versions share subtrees, so this counts roots, not
+	// tree copies.
 	LiveVersions int64
+	// RetainedVersions counts superseded versions held only for
+	// SnapshotAt time travel (Options.RetainVersions). Bounded by
+	// RetainVersions × number of documents.
+	RetainedVersions int64
 }
 
 // VersionStats returns the repository's current MVCC accounting.
 func (r *Repository) VersionStats() VersionStats {
 	return VersionStats{
-		OpenSnapshots:  r.vstats.open.Load(),
-		PinnedVersions: r.vstats.pinned.Load(),
-		LiveVersions:   r.vstats.live.Load(),
+		OpenSnapshots:    r.vstats.open.Load(),
+		PinnedVersions:   r.vstats.pinned.Load(),
+		LiveVersions:     r.vstats.live.Load(),
+		RetainedVersions: r.vstats.retained.Load(),
 	}
 }
 
@@ -94,26 +117,46 @@ func (r *Repository) VersionStats() VersionStats {
 // see docs/CONCURRENCY.md §5).
 func (d *DurableRepository) VersionStats() VersionStats { return d.repo.VersionStats() }
 
-// docVersion is one published, immutable document version. It is
-// created unmaterialised by the first snapshot that pins the
-// document's current state; its frozen tree is shared by every
-// snapshot of the same version and released per the lifetime rule in
-// the file comment.
+// Stamp returns the repository's current global commit stamp: a
+// monotone counter advanced by every document open and every committed
+// mutation. Pass a stamp observed here (or from Snapshot.Stamps) to
+// SnapshotAt to read the repository as of that moment.
+func (r *Repository) Stamp() uint64 { return r.clock.Load() }
+
+// Stamp returns the durable repository's current global commit stamp
+// (see Repository.Stamp).
+func (d *DurableRepository) Stamp() uint64 { return d.repo.Stamp() }
+
+// docVersion is one published, immutable document version: a reference
+// to a persistent structure-sharing tree (version.go file comment). It
+// is created by the first snapshot that pins the state — or by the
+// commit hook when a retained time-travel window is configured — and
+// is shared by every snapshot of the same version.
 type docVersion struct {
 	seq    uint64
+	stamp  uint64
 	name   string
 	scheme string
 	stats  *versionStats
 
-	mu           sync.Mutex
-	pins         int
-	superseded   bool
-	materialised bool
-	tree         *xmltree.Document // frozen; nil before materialisation and after release
+	mu         sync.Mutex
+	pins       int
+	superseded bool
+	retained   bool
+	green      *xmltree.Node     // persistent version root; nil after release
+	view       *xmltree.Document // lazily opened navigable view over green
 }
 
-// pin registers one snapshot reference. Caller: Doc.pinCurrent, under
-// the document's vmu.
+// newVersion wraps a published version root in a descriptor. One
+// LiveVersions unit is held until release.
+func newVersion(seq, stamp uint64, name, scheme string, stats *versionStats, green *xmltree.Node, superseded bool) *docVersion {
+	stats.live.Add(1)
+	return &docVersion{seq: seq, stamp: stamp, name: name, scheme: scheme,
+		stats: stats, green: green, superseded: superseded}
+}
+
+// pin registers one snapshot reference. Caller: Doc.pinCurrent or
+// Doc.pinAt, under the document's vmu.
 func (v *docVersion) pin() {
 	v.mu.Lock()
 	v.pins++
@@ -123,8 +166,8 @@ func (v *docVersion) pin() {
 	v.mu.Unlock()
 }
 
-// unpin drops one snapshot reference, releasing the tree if the
-// version is also superseded.
+// unpin drops one snapshot reference, releasing the tree reference if
+// the version is also superseded and unretained.
 func (v *docVersion) unpin() {
 	v.mu.Lock()
 	v.pins--
@@ -136,8 +179,8 @@ func (v *docVersion) unpin() {
 }
 
 // supersede marks the version no longer current (a newer commit
-// exists, or the document was dropped), releasing the tree if it is
-// also unpinned.
+// exists, or the document was dropped), releasing the tree reference
+// if it is also unpinned and unretained.
 func (v *docVersion) supersede() {
 	v.mu.Lock()
 	v.superseded = true
@@ -145,31 +188,43 @@ func (v *docVersion) supersede() {
 	v.mu.Unlock()
 }
 
-// maybeReleaseLocked frees the materialised tree once nothing can read
-// it again: superseded means no future snapshot can pin this version,
-// zero pins means no open snapshot reads it now. Callers hold v.mu.
+// evict removes the version from the retained time-travel window.
+func (v *docVersion) evict() {
+	v.mu.Lock()
+	if v.retained {
+		v.retained = false
+		v.stats.retained.Add(-1)
+	}
+	v.maybeReleaseLocked()
+	v.mu.Unlock()
+}
+
+// maybeReleaseLocked drops the version's tree reference once nothing
+// can read it again: superseded means no future snapshot can pin it,
+// zero pins means no open snapshot reads it now, unretained means
+// SnapshotAt cannot reach it. Subtrees shared with younger versions
+// remain reachable through those versions; only this root reference
+// dies. Callers hold v.mu.
 func (v *docVersion) maybeReleaseLocked() {
-	if v.superseded && v.pins == 0 && v.tree != nil {
-		v.tree = nil
+	if v.superseded && v.pins == 0 && !v.retained && v.green != nil {
+		v.green = nil
+		v.view = nil
 		v.stats.live.Add(-1)
 	}
 }
 
-// materialise returns the version's frozen tree, building it from the
-// live document on first use. The caller must hold the document's
-// read lock (the live tree must be stable during the deep copy) and
-// must have pinned the version (so it cannot be released mid-build).
-func (v *docVersion) materialise(live *xmltree.Document) *xmltree.Document {
+// document returns the version's navigable frozen view, opening it on
+// first use. Opening is O(1) — view nodes materialise lazily as
+// readers descend (xmltree.OpenVersion) — and the view is cached so
+// every snapshot of this version shares one tree with stable node
+// identity. The caller must have pinned the version.
+func (v *docVersion) document() *xmltree.Document {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if !v.materialised {
-		t := live.Clone()
-		t.Freeze()
-		v.tree = t
-		v.materialised = true
-		v.stats.live.Add(1)
+	if v.view == nil && v.green != nil {
+		v.view = xmltree.OpenVersion(v.green)
 	}
-	return v.tree
+	return v.view
 }
 
 // Version returns the document's current version sequence number:
@@ -182,54 +237,134 @@ func (d *Doc) Version() uint64 {
 	return d.verSeq
 }
 
-// invalidateVersion advances the version sequence and supersedes the
-// cached current version, if any. It is the session commit hook
+// publishVersion advances the version sequence and commit stamp,
+// supersedes the cached current version and — once versioning is
+// active — publishes the new state as a persistent version (an
+// O(changed-spine) structure-sharing republication) and maintains the
+// retained time-travel window. It is the session commit hook
 // (installed by Repository.add), so it runs on every committed
 // mutation while the writer still holds the document's write lock;
-// Drop also calls it so a dropped document's cached tree is released
+// Drop also routes here so a dropped document's versions are released
 // once unpinned.
-func (d *Doc) invalidateVersion() {
+//
+// Before the first snapshot ever touches the repository (and with no
+// retained window configured) the hook only advances counters:
+// write-only workloads pay nothing for versioning, and the first pin
+// publishes the accumulated delta.
+func (d *Doc) publishVersion() {
 	d.vmu.Lock()
+	prevSeq, prevStamp, prevGreen := d.pubSeq, d.pubStamp, d.green
 	d.verSeq++
+	d.stamp = d.repo.clock.Add(1)
 	cur := d.cur
 	d.cur = nil
+	var evicted *docVersion
+	if d.repo.versioning.Load() {
+		d.green = d.sess.Document().PublishVersion(d.verSeq)
+		d.pubSeq = d.verSeq
+		d.pubStamp = d.stamp
+		if retain := d.repo.retain; retain > 0 && prevGreen != nil && !d.dropped {
+			prev := cur
+			if prev == nil {
+				// Born superseded: the commit that is publishing right now
+				// replaced this state, and no later supersede call will ever
+				// reach a window-only descriptor — without the flag, aging
+				// out of the window would never release it.
+				prev = newVersion(prevSeq, prevStamp, d.name, d.scheme, &d.repo.vstats, prevGreen, true)
+			}
+			prev.mu.Lock()
+			prev.retained = true
+			prev.mu.Unlock()
+			d.repo.vstats.retained.Add(1)
+			d.hist = append(d.hist, prev)
+			if len(d.hist) > retain {
+				evicted = d.hist[0]
+				d.hist = d.hist[:copy(d.hist, d.hist[1:])]
+			}
+		}
+	}
 	d.vmu.Unlock()
 	if cur != nil {
 		cur.supersede()
 	}
+	if evicted != nil {
+		evicted.evict()
+	}
 }
 
-// markDropped supersedes the cached version and marks the slot
-// dropped: versions pinned from here on are born superseded, because
-// no commit hook will ever fire on the slot again to supersede them
-// (Repository.Drop calls this after unlinking the name).
+// markDropped supersedes the cached version, evicts the retained
+// window and marks the slot dropped: versions pinned from here on are
+// born superseded, because no commit hook will ever fire on the slot
+// again to supersede them (Repository.Drop calls this after unlinking
+// the name).
 func (d *Doc) markDropped() {
 	d.vmu.Lock()
 	d.dropped = true
+	hist := d.hist
+	d.hist = nil
 	d.vmu.Unlock()
-	d.invalidateVersion()
+	for _, v := range hist {
+		v.supersede()
+		v.evict()
+	}
+	d.publishVersion()
 }
 
 // pinCurrent pins (creating on first use) the version descriptor for
 // the document's current state. The caller holds the document's read
-// lock, so no commit can advance verSeq concurrently.
-func (d *Doc) pinCurrent(stats *versionStats) *docVersion {
+// lock, so no commit can advance the state concurrently; if the
+// current state has not been published yet (versioning was inactive
+// when it committed), the accumulated delta is published here, under
+// the read lock — safe, because publication only touches bookkeeping
+// fields concurrent readers never look at, and vmu serialises
+// publishers. Steady-state cost is O(1): one descriptor, no tree work.
+func (d *Doc) pinCurrent() *docVersion {
 	d.vmu.Lock()
-	if d.cur == nil {
-		d.cur = &docVersion{seq: d.verSeq, name: d.name, scheme: d.scheme, stats: stats,
-			// A snapshot can still pin a dropped slot (it resolved the
-			// name before the drop); the version must free on its last
-			// unpin, since no future commit will supersede it.
-			superseded: d.dropped}
-	}
-	v := d.cur
-	v.pin()
+	v := d.pinCurrentLocked()
 	d.vmu.Unlock()
 	return v
 }
 
+func (d *Doc) pinCurrentLocked() *docVersion {
+	if d.cur == nil {
+		if d.green == nil || d.pubSeq != d.verSeq {
+			d.green = d.sess.Document().PublishVersion(d.verSeq)
+			d.pubSeq = d.verSeq
+			d.pubStamp = d.stamp
+		}
+		// A snapshot can still pin a dropped slot (it resolved the
+		// name before the drop); the version must free on its last
+		// unpin, since no future commit will supersede it.
+		d.cur = newVersion(d.verSeq, d.pubStamp, d.name, d.scheme, &d.repo.vstats, d.green, d.dropped)
+	}
+	v := d.cur
+	v.pin()
+	return v
+}
+
+// pinAt pins the youngest version whose commit stamp does not exceed
+// stamp: the current version if the document has not changed since,
+// otherwise a version from the retained time-travel window. The caller
+// holds the document's read lock.
+func (d *Doc) pinAt(stamp uint64) (*docVersion, error) {
+	d.vmu.Lock()
+	defer d.vmu.Unlock()
+	if stamp >= d.stamp {
+		return d.pinCurrentLocked(), nil
+	}
+	for i := len(d.hist) - 1; i >= 0; i-- {
+		if d.hist[i].stamp <= stamp {
+			v := d.hist[i]
+			v.pin()
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q at stamp %d (current stamp %d, %d retained)",
+		ErrVersionEvicted, d.name, stamp, d.stamp, len(d.hist))
+}
+
 // snapEntry is one document inside a snapshot: the pinned version and
-// its frozen tree, resolved once at capture time.
+// its frozen view, resolved once at capture time.
 type snapEntry struct {
 	v    *docVersion
 	tree *xmltree.Document
@@ -241,9 +376,10 @@ type snapEntry struct {
 // committed state, however many writers commit meanwhile. A snapshot
 // of several documents is consistent ACROSS them: it can never observe
 // a MultiBatch transaction on some involved documents but not others.
-// Obtain one from Repository.Snapshot or DurableRepository.Snapshot;
-// Close it when done so its versions can be reclaimed
-// (docs/CONCURRENCY.md specifies the full observation model).
+// Obtain one from Repository.Snapshot or DurableRepository.Snapshot
+// (or their SnapshotAt time-travel variants); Close it when done so
+// its versions can be reclaimed (docs/CONCURRENCY.md specifies the
+// full observation model).
 //
 // A Snapshot is safe for concurrent use by multiple goroutines.
 type Snapshot struct {
@@ -263,14 +399,57 @@ type Snapshot struct {
 // locks are released before Snapshot returns; reads on the snapshot
 // never block, and never are blocked by, any writer.
 //
-// The first snapshot of a given version pays a deep copy of each
-// document (under the read lock); later snapshots of the same version
-// share the copy. Explicitly requested unknown names fail with
-// ErrNotFound before any lock is taken; in the all-documents form a
-// document dropped between the listing and the resolution is simply
-// excluded, as in Save — the membership was never the caller's to
-// pin. Close the snapshot when done.
+// Pinning is O(1) per document: versions are persistent
+// structure-sharing trees published at commit time, so there is
+// nothing to copy (the very first pin after a stretch of snapshot-free
+// writing publishes the accumulated delta, once). Explicitly requested
+// unknown names fail with ErrNotFound before any lock is taken; in the
+// all-documents form a document dropped between the listing and the
+// resolution is simply excluded, as in Save — the membership was never
+// the caller's to pin. Close the snapshot when done.
 func (r *Repository) Snapshot(names ...string) (*Snapshot, error) {
+	return r.snapshotWith(names, func(d *Doc) (*docVersion, error) {
+		return d.pinCurrent(), nil
+	})
+}
+
+// SnapshotAt pins a time-travel view of the named documents (all
+// documents when names is empty) as of the given commit stamp — a
+// value previously observed from Stamp or Snapshot.Stamps. Each
+// document resolves to the youngest version whose commit stamp does
+// not exceed stamp: the current version if the document has not
+// changed since, otherwise a version from the retained window
+// (Options.RetainVersions); a stamp older than the window fails with
+// ErrVersionEvicted.
+//
+// Every document in the result is individually a committed state, but
+// unlike Snapshot the cut is NOT guaranteed transaction-consistent
+// across documents: a MultiBatch commits its documents under one write
+// lock set yet stamps them sequentially, so a historical stamp can
+// land between the stamps of one transaction and observe it on some
+// documents and not others. Use Snapshot (and remember its Stamps)
+// when cross-document consistency of the cut matters.
+func (r *Repository) SnapshotAt(stamp uint64, names ...string) (*Snapshot, error) {
+	return r.snapshotWith(names, func(d *Doc) (*docVersion, error) {
+		return d.pinAt(stamp)
+	})
+}
+
+// SnapshotAt pins a time-travel view of the durable repository's
+// documents; semantics exactly as Repository.SnapshotAt (versions and
+// stamps are an in-memory construct — never logged, reset by
+// recovery).
+func (d *DurableRepository) SnapshotAt(stamp uint64, names ...string) (*Snapshot, error) {
+	return d.repo.SnapshotAt(stamp, names...)
+}
+
+// snapshotWith resolves, locks and captures per the Snapshot contract,
+// delegating the per-document version choice to pin.
+func (r *Repository) snapshotWith(names []string, pin func(*Doc) (*docVersion, error)) (*Snapshot, error) {
+	// Any snapshot activates eager publication at commit, permanently:
+	// from here on writers republish the changed spine in the commit
+	// hook so pins stay O(1).
+	r.versioning.Store(true)
 	all := len(names) == 0
 	if all {
 		names = r.Names()
@@ -294,12 +473,23 @@ func (r *Repository) Snapshot(names ...string) (*Snapshot, error) {
 		d.mu.RLock()
 	}
 	s := &Snapshot{docs: make(map[string]snapEntry, len(held)), names: uniq, stats: &r.vstats}
+	var pinErr error
 	for _, d := range held {
-		v := d.pinCurrent(&r.vstats)
-		s.docs[d.name] = snapEntry{v: v, tree: v.materialise(d.sess.Document())}
+		v, err := pin(d)
+		if err != nil {
+			pinErr = err
+			break
+		}
+		s.docs[d.name] = snapEntry{v: v, tree: v.document()}
 	}
 	for i := len(held) - 1; i >= 0; i-- {
 		held[i].mu.RUnlock()
+	}
+	if pinErr != nil {
+		for _, e := range s.docs {
+			e.v.unpin()
+		}
+		return nil, pinErr
 	}
 	r.vstats.open.Add(1)
 	return s, nil
@@ -325,6 +515,18 @@ func (s *Snapshot) Versions() map[string]uint64 {
 	out := make(map[string]uint64, len(s.docs))
 	for name, e := range s.docs {
 		out[name] = e.v.seq
+	}
+	return out
+}
+
+// Stamps maps each document in the snapshot to the global commit stamp
+// of the version it was pinned at. Any of these stamps (or Stamp's
+// live value) can be passed to SnapshotAt to revisit that state while
+// it stays within the retained window. It stays valid after Close.
+func (s *Snapshot) Stamps() map[string]uint64 {
+	out := make(map[string]uint64, len(s.docs))
+	for name, e := range s.docs {
+		out[name] = e.v.stamp
 	}
 	return out
 }
@@ -385,10 +587,11 @@ func (s *Snapshot) entry(name string) (snapEntry, error) {
 }
 
 // Close releases the snapshot's version pins; superseded versions it
-// was the last reader of free their trees immediately. Reads after
-// Close fail with ErrSnapshotClosed (nodes already handed out stay
-// valid — they are garbage-collected Go memory like any other). Close
-// is idempotent and safe to call concurrently with reads.
+// was the last reader of drop their tree references immediately.
+// Reads after Close fail with ErrSnapshotClosed (nodes already handed
+// out stay valid — they are garbage-collected Go memory like any
+// other). Close is idempotent and safe to call concurrently with
+// reads.
 func (s *Snapshot) Close() {
 	s.mu.Lock()
 	if s.closed {

@@ -98,9 +98,10 @@ func (s *Session) AutoVerify() bool { return s.autoVerify }
 // every committed mutation — each top-level operation, each committed
 // batch, and each batch rollback (a rollback mutates the tree back to
 // its pre-batch state). fn must be fast and must not call back into
-// the session. The repository layer uses the hook to supersede the
-// document's published MVCC version on every commit, which is what
-// makes snapshot reads see only committed states (docs/CONCURRENCY.md);
+// the session. The repository layer uses the hook to publish a
+// persistent path-copied MVCC version of the document on every
+// commit, which is what makes snapshot reads see only committed
+// states and snapshot pins O(1) (docs/CONCURRENCY.md);
 // a nil fn removes the hook. Sessions adopted into a repository have
 // their hook owned by it — replacing the hook on such a session (e.g.
 // inside a View/Update callback) breaks snapshot consistency.

@@ -27,7 +27,7 @@ func (d *Document) Node() *Node { return d.node }
 
 // Root returns the root element, or nil for an empty document.
 func (d *Document) Root() *Node {
-	for _, c := range d.node.kids {
+	for _, c := range d.node.children() {
 		if c.kind == KindElement {
 			return c
 		}
@@ -69,10 +69,10 @@ func (d *Document) NodeCount() int {
 	var walk func(*Node)
 	walk = func(x *Node) {
 		n++
-		for _, a := range x.attrs {
+		for _, a := range x.attributes() {
 			walk(a)
 		}
-		for _, c := range x.kids {
+		for _, c := range x.children() {
 			walk(c)
 		}
 	}
@@ -99,7 +99,7 @@ func (d *Document) Validate() error {
 		return err
 	}
 	roots := 0
-	for _, c := range d.node.kids {
+	for _, c := range d.node.children() {
 		if c.kind == KindElement {
 			roots++
 		}

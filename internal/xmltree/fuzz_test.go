@@ -1,6 +1,7 @@
 package xmltree
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -95,6 +96,108 @@ func TestHugeAttributeCount(t *testing.T) {
 	for i, a := range attrs {
 		if a.Name() != attrName(i) {
 			t.Fatalf("attr %d order: %s", i, a.Name())
+		}
+	}
+}
+
+// TestRandomOpsPreservePinnedVersions is the structure-sharing property
+// test: random batches of structural and content mutations against a
+// document with pinned published versions must leave every old version
+// byte-identical (serialise + compare) while the live document
+// advances, and each new version must serialise exactly like the live
+// document at its publication point.
+func TestRandomOpsPreservePinnedVersions(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			doc := SampleBook()
+			seq := uint64(1)
+			type pinned struct {
+				seq  uint64
+				view *Document
+				xml  string
+			}
+			var pins []pinned
+			pin := func() {
+				v := OpenVersion(doc.PublishVersion(seq))
+				pins = append(pins, pinned{seq: seq, view: v, xml: doc.XML()})
+				if got := v.XML(); got != doc.XML() {
+					t.Fatalf("seq %d: fresh version differs from live document", seq)
+				}
+				seq++
+			}
+			pin()
+			for round := 0; round < 30; round++ {
+				for op := 0; op < 1+rng.Intn(6); op++ {
+					randomMutation(t, rng, doc)
+				}
+				if err := doc.Validate(); err != nil {
+					t.Fatalf("round %d: live tree invalid: %v", round, err)
+				}
+				pin()
+				for _, p := range pins {
+					if got := p.view.XML(); got != p.xml {
+						t.Fatalf("round %d: pinned version %d changed:\n got %s\nwant %s",
+							round, p.seq, got, p.xml)
+					}
+				}
+			}
+		})
+	}
+}
+
+// randomMutation applies one random structural or content mutation to
+// a random element of the live document.
+func randomMutation(t *testing.T, rng *rand.Rand, doc *Document) {
+	t.Helper()
+	var elems []*Node
+	doc.WalkLabelled(func(n *Node) bool {
+		if n.Kind() == KindElement {
+			elems = append(elems, n)
+		}
+		return true
+	})
+	if len(elems) == 0 {
+		return
+	}
+	n := elems[rng.Intn(len(elems))]
+	switch rng.Intn(7) {
+	case 0:
+		if err := n.AppendChild(NewElement(fmt.Sprintf("e%d", rng.Intn(100)))); err != nil {
+			t.Fatal(err)
+		}
+	case 1:
+		if err := n.PrependChild(NewText(fmt.Sprintf("t%d", rng.Intn(100)))); err != nil {
+			t.Fatal(err)
+		}
+	case 2:
+		if _, err := n.SetAttr(attrName(rng.Intn(20)), fmt.Sprint(rng.Intn(100))); err != nil {
+			t.Fatal(err)
+		}
+	case 3:
+		n.SetName(fmt.Sprintf("r%d", rng.Intn(100)))
+	case 4:
+		if attrs := n.Attributes(); len(attrs) > 0 {
+			n.RemoveAttr(attrs[rng.Intn(len(attrs))].Name())
+		}
+	case 5:
+		// Delete a non-root subtree.
+		if n != doc.Root() && n.Parent() != nil {
+			n.Detach()
+		}
+	case 6:
+		// Move a non-root subtree under another element that is not
+		// one of its own descendants.
+		if n == doc.Root() || n.Parent() == nil {
+			return
+		}
+		dst := elems[rng.Intn(len(elems))]
+		if dst == n || n.IsAncestorOf(dst) {
+			return
+		}
+		if err := dst.AppendChild(n); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -69,6 +69,18 @@ type Node struct {
 	parent *Node
 	attrs  []*Node // attribute children, in document order (elements only)
 	kids   []*Node // non-attribute children, in document order
+
+	// Persistent-version bookkeeping (persist.go). birth is the version
+	// sequence at which this node's state was last published. shadow
+	// points from a live node to its up-to-date persistent counterpart
+	// (nil while the node has unpublished changes). src points from a
+	// version-view node to the persistent node it mirrors; expanded
+	// (accessed atomically) marks a view node whose child shells have
+	// been materialised.
+	birth    uint64
+	shadow   *Node
+	src      *Node
+	expanded uint32
 }
 
 // NewElement returns a detached element node.
@@ -99,7 +111,7 @@ func (n *Node) Name() string { return n.name }
 // SetName renames an element, attribute or processing instruction.
 // Renaming is a content update in the paper's taxonomy (§3.1) and never
 // affects labels. Panics on a frozen node (see freeze.go).
-func (n *Node) SetName(name string) { n.mustThaw(); n.name = name }
+func (n *Node) SetName(name string) { n.mustThaw(); n.markChanged(); n.name = name }
 
 // Value returns the node's own data value: attribute value, text content,
 // comment text or PI data. Elements return "".
@@ -107,7 +119,7 @@ func (n *Node) Value() string { return n.value }
 
 // SetValue updates the node's data value (content update). Panics on
 // a frozen node (see freeze.go).
-func (n *Node) SetValue(v string) { n.mustThaw(); n.value = v }
+func (n *Node) SetValue(v string) { n.mustThaw(); n.markChanged(); n.value = v }
 
 // Parent returns the parent node, or nil for a detached node or the
 // document root.
@@ -115,11 +127,11 @@ func (n *Node) Parent() *Node { return n.parent }
 
 // Attributes returns the attribute children in document order.
 // The returned slice must not be mutated.
-func (n *Node) Attributes() []*Node { return n.attrs }
+func (n *Node) Attributes() []*Node { return n.attributes() }
 
 // Children returns the non-attribute children in document order.
 // The returned slice must not be mutated.
-func (n *Node) Children() []*Node { return n.kids }
+func (n *Node) Children() []*Node { return n.children() }
 
 // Text returns the concatenated text content of the node's direct text
 // children (for elements) or the node's own value otherwise. This is the
@@ -129,7 +141,7 @@ func (n *Node) Text() string {
 		return n.value
 	}
 	var sb strings.Builder
-	for _, c := range n.kids {
+	for _, c := range n.children() {
 		if c.kind == KindText {
 			sb.WriteString(c.value)
 		}
@@ -149,14 +161,14 @@ func (n *Node) walkDeepText(sb *strings.Builder) {
 		sb.WriteString(n.value)
 		return
 	}
-	for _, c := range n.kids {
+	for _, c := range n.children() {
 		c.walkDeepText(sb)
 	}
 }
 
 // Attr returns the value of the named attribute and whether it exists.
 func (n *Node) Attr(name string) (string, bool) {
-	for _, a := range n.attrs {
+	for _, a := range n.attributes() {
 		if a.name == name {
 			return a.value, true
 		}
@@ -182,9 +194,9 @@ func (n *Node) Index() int {
 	if n.parent == nil {
 		return -1
 	}
-	list := n.parent.kids
+	list := n.parent.children()
 	if n.kind == KindAttribute {
-		list = n.parent.attrs
+		list = n.parent.attributes()
 	}
 	for i, c := range list {
 		if c == n {
@@ -203,7 +215,7 @@ func (n *Node) PrevSibling() *Node {
 	if i <= 0 {
 		return nil
 	}
-	return n.parent.kids[i-1]
+	return n.parent.children()[i-1]
 }
 
 // NextSibling returns the following non-attribute sibling, or nil.
@@ -212,26 +224,29 @@ func (n *Node) NextSibling() *Node {
 		return nil
 	}
 	i := n.Index()
-	if i < 0 || i+1 >= len(n.parent.kids) {
+	kids := n.parent.children()
+	if i < 0 || i+1 >= len(kids) {
 		return nil
 	}
-	return n.parent.kids[i+1]
+	return kids[i+1]
 }
 
 // FirstChild returns the first non-attribute child, or nil.
 func (n *Node) FirstChild() *Node {
-	if len(n.kids) == 0 {
+	kids := n.children()
+	if len(kids) == 0 {
 		return nil
 	}
-	return n.kids[0]
+	return kids[0]
 }
 
 // LastChild returns the last non-attribute child, or nil.
 func (n *Node) LastChild() *Node {
-	if len(n.kids) == 0 {
+	kids := n.children()
+	if len(kids) == 0 {
 		return nil
 	}
-	return n.kids[len(n.kids)-1]
+	return kids[len(kids)-1]
 }
 
 // IsAncestorOf reports whether n is a proper ancestor of d, computed from
@@ -289,12 +304,14 @@ func (n *Node) SetAttr(name, value string) (*Node, error) {
 	}
 	for _, a := range n.attrs {
 		if a.name == name {
+			a.markChanged()
 			a.value = value
 			return a, nil
 		}
 	}
 	a := NewAttribute(name, value)
 	a.parent = n
+	n.markChanged()
 	n.attrs = append(n.attrs, a)
 	return a, nil
 }
@@ -314,6 +331,7 @@ func (n *Node) AppendAttr(a *Node) error {
 		a.Detach()
 	}
 	a.parent = n
+	n.markChanged()
 	n.attrs = append(n.attrs, a)
 	return nil
 }
@@ -330,16 +348,25 @@ func (n *Node) InsertAttrAt(i int, a *Node) error {
 	if a.kind != KindAttribute {
 		return fmt.Errorf("%w: InsertAttrAt of %v", ErrWrongKind, a.kind)
 	}
-	if a.parent != nil {
-		a.Detach()
-	}
 	if i < 0 {
 		i = 0
 	}
 	if i > len(n.attrs) {
 		i = len(n.attrs)
 	}
+	if a.parent != nil {
+		// Moving an attribute within the same element: its detach
+		// shifts everything after it left by one, so adjust the
+		// target index or the splice below would run past the list.
+		if a.parent == n {
+			if idx := a.Index(); idx >= 0 && idx < i {
+				i--
+			}
+		}
+		a.Detach()
+	}
 	a.parent = n
+	n.markChanged()
 	n.attrs = append(n.attrs, nil)
 	copy(n.attrs[i+1:], n.attrs[i:])
 	n.attrs[i] = a
@@ -352,6 +379,7 @@ func (n *Node) RemoveAttr(name string) bool {
 	n.mustThaw()
 	for i, a := range n.attrs {
 		if a.name == name {
+			n.markChanged()
 			n.attrs = append(n.attrs[:i], n.attrs[i+1:]...)
 			a.parent = nil
 			return true
@@ -375,9 +403,19 @@ func (n *Node) InsertChildAt(i int, c *Node) error {
 		return ErrIndexOutOfRange
 	}
 	if c.parent != nil {
+		// Moving a child within the same parent: its detach shifts
+		// everything after it left by one, so adjust the target index
+		// or the splice below would run past the list (AppendChild of
+		// an existing last child hit exactly this).
+		if c.parent == n {
+			if idx := c.Index(); idx >= 0 && idx < i {
+				i--
+			}
+		}
 		c.Detach()
 	}
 	c.parent = n
+	n.markChanged()
 	n.kids = append(n.kids, nil)
 	copy(n.kids[i+1:], n.kids[i:])
 	n.kids[i] = c
@@ -426,6 +464,10 @@ func (n *Node) Detach() {
 	if p == nil {
 		return
 	}
+	// The detached subtree keeps its own shadows: its content is
+	// unchanged, so a later re-graft (move) still shares it with prior
+	// versions. Only the old parent's spine is invalidated.
+	p.markChanged()
 	if n.kind == KindAttribute {
 		for i, a := range p.attrs {
 			if a == n {
@@ -449,12 +491,12 @@ func (n *Node) Detach() {
 // original snapshot, never of a copy (freeze.go).
 func (n *Node) Clone() *Node {
 	c := &Node{kind: n.kind, name: n.name, value: n.value}
-	for _, a := range n.attrs {
+	for _, a := range n.attributes() {
 		ac := a.Clone()
 		ac.parent = c
 		c.attrs = append(c.attrs, ac)
 	}
-	for _, k := range n.kids {
+	for _, k := range n.children() {
 		kc := k.Clone()
 		kc.parent = c
 		c.kids = append(c.kids, kc)
@@ -475,7 +517,7 @@ func (n *Node) validate(seen map[*Node]bool) error {
 		return fmt.Errorf("xmltree: node %q appears twice", n.name)
 	}
 	seen[n] = true
-	for _, a := range n.attrs {
+	for _, a := range n.attributes() {
 		if a.kind != KindAttribute {
 			return fmt.Errorf("xmltree: non-attribute %v in attribute list of %q", a.kind, n.name)
 		}
@@ -486,7 +528,7 @@ func (n *Node) validate(seen map[*Node]bool) error {
 			return err
 		}
 	}
-	for _, c := range n.kids {
+	for _, c := range n.children() {
 		if c.kind == KindAttribute {
 			return fmt.Errorf("xmltree: attribute %q in child list of %q", c.name, n.name)
 		}

@@ -17,7 +17,7 @@ type SerializeOptions struct {
 // definition (paper Definition 2) requires that the full textual document
 // be reconstructible from the tree; this is the reconstruction path.
 func (d *Document) WriteXML(w io.Writer, opt SerializeOptions) error {
-	for _, c := range d.node.kids {
+	for _, c := range d.node.children() {
 		if err := writeNode(w, c, opt, 0); err != nil {
 			return err
 		}
@@ -75,12 +75,13 @@ func writeNode(w io.Writer, n *Node, opt SerializeOptions, depth int) error {
 		if _, err := fmt.Fprintf(w, "%s<%s", ind, n.name); err != nil {
 			return err
 		}
-		for _, a := range n.attrs {
+		for _, a := range n.attributes() {
 			if err := writeNode(w, a, opt, depth); err != nil {
 				return err
 			}
 		}
-		if len(n.kids) == 0 {
+		kids := n.children()
+		if len(kids) == 0 {
 			_, err := io.WriteString(w, "/>")
 			return err
 		}
@@ -88,7 +89,7 @@ func writeNode(w io.Writer, n *Node, opt SerializeOptions, depth int) error {
 			return err
 		}
 		inline := opt.Indent == "" || textOnly(n)
-		for _, c := range n.kids {
+		for _, c := range kids {
 			if !inline {
 				if _, err := io.WriteString(w, nl); err != nil {
 					return err
@@ -115,7 +116,7 @@ func writeNode(w io.Writer, n *Node, opt SerializeOptions, depth int) error {
 }
 
 func textOnly(n *Node) bool {
-	for _, c := range n.kids {
+	for _, c := range n.children() {
 		if c.kind != KindText {
 			return false
 		}

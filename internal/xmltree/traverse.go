@@ -20,12 +20,12 @@ func walkLabelled(n *Node, visit func(*Node) bool) bool {
 			return false
 		}
 	}
-	for _, a := range n.attrs {
+	for _, a := range n.attributes() {
 		if !walkLabelled(a, visit) {
 			return false
 		}
 	}
-	for _, c := range n.kids {
+	for _, c := range n.children() {
 		if !walkLabelled(c, visit) {
 			return false
 		}
@@ -44,9 +44,10 @@ func (d *Document) LabelledNodes() []*Node {
 // attributes first, then element children. This is the sibling list over
 // which prefix schemes assign positional identifiers.
 func LabelledChildren(n *Node) []*Node {
-	out := make([]*Node, 0, len(n.attrs)+len(n.kids))
-	out = append(out, n.attrs...)
-	for _, c := range n.kids {
+	attrs, kids := n.attributes(), n.children()
+	out := make([]*Node, 0, len(attrs)+len(kids))
+	out = append(out, attrs...)
+	for _, c := range kids {
 		if c.kind == KindElement {
 			out = append(out, c)
 		}
@@ -84,10 +85,10 @@ func (d *Document) PostRank() map[*Node]int {
 	i := 0
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		for _, a := range n.attrs {
+		for _, a := range n.attributes() {
 			walk(a)
 		}
-		for _, c := range n.kids {
+		for _, c := range n.children() {
 			walk(c)
 		}
 		if n.kind == KindElement || n.kind == KindAttribute {
@@ -129,9 +130,9 @@ func DocOrderCompare(a, b *Node) int {
 			}
 			return 1
 		}
-		list := p.kids
+		list := p.children()
 		if aAttr {
-			list = p.attrs
+			list = p.attributes()
 		}
 		for _, c := range list {
 			if c == ca {

@@ -64,6 +64,62 @@ func TestRepositoryFacade(t *testing.T) {
 	}
 }
 
+// TestSnapshotTimeTravelFacade exercises the public snapshot surface:
+// RetainVersions, Stamp, Snapshot.Stamps, SnapshotAt, the eviction
+// error and the RetainedVersions gauge — all through the facade
+// aliases.
+func TestSnapshotTimeTravelFacade(t *testing.T) {
+	r := NewRepository(RepoOptions{RetainVersions: 2})
+	doc, err := ParseString(`<shelf><book/></shelf>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Open("shelf", doc, "qed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r.Stamp()
+	for i := 0; i < 4; i++ {
+		if _, err := d.Batch([]Op{AppendChildOp(doc.Root(), "book")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap, err := r.Snapshot("shelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	stamp, ok := snap.Stamps()["shelf"]
+	if !ok {
+		t.Fatal("Stamps missing pinned document")
+	}
+	back, err := r.SnapshotAt(stamp, "shelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Versions()["shelf"] != snap.Versions()["shelf"] {
+		t.Fatalf("SnapshotAt(%d) pinned version %d, want %d",
+			stamp, back.Versions()["shelf"], snap.Versions()["shelf"])
+	}
+	nodes, err := back.Query("shelf", "//book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 5 {
+		t.Fatalf("books at stamp %d = %d, want 5", stamp, len(nodes))
+	}
+
+	// The opened state is 4 commits back — outside the 2-version window.
+	if _, err := r.SnapshotAt(first, "shelf"); !errors.Is(err, ErrVersionEvicted) {
+		t.Fatalf("evicted stamp: %v", err)
+	}
+	if st := r.VersionStats(); st.RetainedVersions != 2 {
+		t.Fatalf("RetainedVersions = %d, want 2", st.RetainedVersions)
+	}
+}
+
 // TestSessionBatchFacade: the batch builder reached through the
 // Session alias, plus the batched workload driver.
 func TestSessionBatchFacade(t *testing.T) {

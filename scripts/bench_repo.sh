@@ -37,17 +37,38 @@ c13=$(go run ./cmd/xbench -exp C13 -quick -csv | awk -F, '
 		sep = ",\n"
 	}')
 
-go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit|BenchmarkRecovery|BenchmarkMultiBatch|BenchmarkSnapshotRead|BenchmarkSnapshotPin' \
-	-benchmem -benchtime 1s . |
+# The contended snapshot-read rows and the pin rows run under
+# fixed-work timing (-benchtime Nx): every row performs an identical,
+# deterministic amount of work instead of whatever b.N the framework
+# extrapolates under writer saturation (the old 1-vs-2-iteration
+# jitter), and the pin rows keep their superseding write outside the
+# timed region, so b.N extrapolation from pin time alone would stall.
+{
+	go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit|BenchmarkRecovery|BenchmarkMultiBatch' \
+		-benchmem -benchtime 1s .
+	go test -run '^$' -bench 'BenchmarkSnapshotRead' -benchmem -benchtime 4x .
+	go test -run '^$' -bench 'BenchmarkSnapshotPin' -benchmem -benchtime 200x .
+} |
 	awk -v c11="$c11" -v c12="$c12" -v c13="$c13" '
 	/^goos:/    { goos = $2 }
 	/^goarch:/  { goarch = $2 }
 	/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
 	/^Benchmark/ {
+		# Custom metrics (queries/s) shift the column positions, so
+		# locate each value by the unit token that follows it.
 		name = $1; sub(/-[0-9]+$/, "", name)
+		ns = bytes = allocs = qps = ""
+		for (i = 3; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns = $i
+			else if ($(i + 1) == "B/op") bytes = $i
+			else if ($(i + 1) == "allocs/op") allocs = $i
+			else if ($(i + 1) == "queries/s") qps = $i
+		}
 		if (n++) printf ",\n"
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-			name, $2, $3, $5, $7
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+			name, $2, ns, bytes, allocs
+		if (qps != "") printf ", \"queries_per_s\": %s", qps
+		printf "}"
 	}
 	END {
 		printf "\n  ],\n"

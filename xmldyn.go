@@ -21,13 +21,18 @@
 // that verify document order once per batch instead of once per op,
 // atomic multi-document transactions (MultiBatch) that commit
 // across several named documents or roll back across all of them,
-// and MVCC snapshot reads (Repository.Snapshot → RepoSnapshot): a
-// snapshot pins an immutable, transaction-consistent version of one
-// or more documents and serves every read from it with no lock held,
-// so slow readers never stall writers and a multi-document snapshot
-// can never observe a MultiBatch half applied (docs/CONCURRENCY.md
-// specifies the consistency model; RepoVersionStats exposes the
-// version accounting). SaveRepository/RestoreRepository round-trip
+// and MVCC snapshot reads (Repository.Snapshot → RepoSnapshot): every
+// commit publishes a persistent path-copied version of the document —
+// unchanged subtrees shared with the live tree, only the mutated
+// spine copied — so a snapshot pins an immutable,
+// transaction-consistent version of one or more documents in O(1)
+// and serves every read from it with no lock held: slow readers never
+// stall writers and a multi-document snapshot can never observe a
+// MultiBatch half applied. With RepoOptions.RetainVersions set, the
+// last N superseded versions of each document stay reachable and
+// Repository.SnapshotAt time-travels to the state at an earlier
+// commit stamp (docs/CONCURRENCY.md specifies the consistency model;
+// RepoVersionStats exposes the version accounting). SaveRepository/RestoreRepository round-trip
 // the whole repository through one checksummed container, and
 // NewDurableRepository backs the same layer with a write-ahead log:
 // committed batches survive a crash and replay to the identical
@@ -409,7 +414,9 @@ type (
 	Repository = repo.Repository
 	// RepoDoc is one named document slot in a repository.
 	RepoDoc = repo.Doc
-	// RepoOptions configures shard count and auto-verification.
+	// RepoOptions configures shard count, auto-verification and the
+	// time-travel retention window (RetainVersions: how many
+	// superseded versions per document stay reachable by SnapshotAt).
 	RepoOptions = repo.Options
 	// MultiDoc is one document's handle inside a MultiBatch — an
 	// atomic transaction across several named documents: the build
@@ -422,14 +429,17 @@ type (
 	MultiDoc = repo.MultiDoc
 	// RepoSnapshot is a pinned, immutable, transaction-consistent
 	// view of one or more repository documents (Repository.Snapshot /
-	// DurableRepository.Snapshot): reads on it hold no lock, always
-	// observe the identical committed state, and cannot see a
-	// MultiBatch half applied. Close it when done so its versions can
-	// be reclaimed. docs/CONCURRENCY.md specifies the full model.
+	// DurableRepository.Snapshot, or SnapshotAt for the state at an
+	// earlier commit stamp): reads on it hold no lock, always observe
+	// the identical committed state, and cannot see a MultiBatch half
+	// applied. Stamps reports the commit stamp each pinned version
+	// was current at, so a later SnapshotAt can revisit it. Close it
+	// when done so its versions can be reclaimed. docs/CONCURRENCY.md
+	// specifies the full model.
 	RepoSnapshot = repo.Snapshot
 	// RepoVersionStats is the repository's MVCC accounting — open
-	// snapshots, pinned versions, live materialised version trees —
-	// for leak triage (docs/OPERATIONS.md §7).
+	// snapshots, pinned versions, live version roots, retained
+	// time-travel versions — for leak triage (docs/OPERATIONS.md §7).
 	RepoVersionStats = repo.VersionStats
 )
 
@@ -439,6 +449,9 @@ var (
 	ErrRepoNotFound = repo.ErrNotFound
 	// ErrSnapshotClosed reports a read on a RepoSnapshot after Close.
 	ErrSnapshotClosed = repo.ErrSnapshotClosed
+	// ErrVersionEvicted reports a SnapshotAt stamp older than the
+	// retained window (RepoOptions.RetainVersions).
+	ErrVersionEvicted = repo.ErrVersionEvicted
 	// ErrFrozen reports a mutation attempted on a frozen snapshot
 	// node; Clone the node for a mutable copy (docs/CONCURRENCY.md §6).
 	ErrFrozen = xmltree.ErrFrozen
