@@ -71,6 +71,76 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalCheckpoint measures the cost of a checkpoint
+// when one document out of many changed since the last one: the
+// incremental design writes exactly one snapshot file per iteration
+// ("Incremental"), while the width of the repository shows up only in
+// the O(documents) manifest bookkeeping. "FullRewrite" commits to
+// every document between checkpoints — the worst case, equivalent to
+// the pre-incremental whole-repository fold — so the gap between the
+// two sub-benchmarks is the claim, tracked in BENCH_repo.json.
+func BenchmarkIncrementalCheckpoint(b *testing.B) {
+	const docs = 256
+	setup := func(b *testing.B) *DurableRepository {
+		b.Helper()
+		r, err := NewDurableRepository(b.TempDir(), DurableOptions{Sync: SyncAsync, AutoCheckpointBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < docs; i++ {
+			doc, err := ParseString("<d><seed/></d>")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Open(fmt.Sprintf("doc%03d", i), doc, "qed"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := r.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	touch := func(b *testing.B, r *DurableRepository, name string) {
+		b.Helper()
+		_, err := r.Batch(name, func(doc *Document, bt *Batch) error {
+			root := doc.Root()
+			bt.AppendChild(root, "t")
+			if kids := root.Children(); len(kids) > 16 {
+				bt.Delete(kids[0])
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("Incremental", func(b *testing.B) {
+		r := setup(b)
+		defer r.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			touch(b, r, "doc000")
+			if err := r.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FullRewrite", func(b *testing.B) {
+		r := setup(b)
+		defer r.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < docs; j++ {
+				touch(b, r, fmt.Sprintf("doc%03d", j))
+			}
+			if err := r.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkDurableCommit measures committed-batch latency through the
 // write-ahead log under each fsync policy (the C10 trade-off as a Go
 // benchmark; BENCH_repo.json tracks it across PRs). Each iteration is

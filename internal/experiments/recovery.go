@@ -51,12 +51,115 @@ func C11Recovery(histories []int, batchSize int) (Table, error) {
 			t.Rows = append(t.Rows, row)
 		}
 	}
+	// Multi-document rows: the same histories spread over 32 documents
+	// with a hot/cold skew and a mid-history incremental checkpoint,
+	// recovered serially and with the partitioned-replay worker pool.
+	// Per-document order is all recovery preserves, so the two modes
+	// produce identical state; the delta is wall clock on multi-core
+	// hosts (with GOMAXPROCS=1 the pool degenerates to serial replay).
+	for _, par := range []struct {
+		name    string
+		workers int
+	}{
+		{"multi-serial", -1},
+		{"multi-parallel", 0},
+	} {
+		for _, commits := range histories {
+			row, err := runC11Multi(par.name, par.workers, commits, batchSize)
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("each commit is one batch of %d appends (plus trims keeping the tree small)", batchSize),
 		"unbounded: one segment, no auto-checkpoint — recovery replays the full history",
 		"auto-ckpt: 16KiB segments, 64KiB auto-checkpoint — recovery replays only the live tail",
+		"multi-*: 32 documents with 80/20 hot/cold commit skew and a mid-history incremental checkpoint;",
+		"  -serial recovers with RecoveryParallelism=1, -parallel with GOMAXPROCS workers (identical state, wall-clock delta)",
 		"recovery opens with auto-checkpoint disabled so the timings measure pure replay")
 	return t, nil
+}
+
+// runC11Multi builds one skewed multi-document history — 32 documents,
+// 80% of commits concentrated on 4 hot documents, an incremental
+// checkpoint half way — and times its recovery at the given
+// partitioned-replay worker setting.
+func runC11Multi(mode string, workers, commits, batchSize int) ([]string, error) {
+	const docs, hot = 32, 4
+	dir, err := os.MkdirTemp("", "xmldyn-c11m-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	build := repo.DurableOptions{Sync: wal.SyncAsync, SegmentBytes: 64 << 10, AutoCheckpointBytes: -1}
+	d, err := repo.OpenDurable(dir, build)
+	if err != nil {
+		return nil, err
+	}
+	name := func(i int) string { return fmt.Sprintf("doc%02d", i) }
+	for i := 0; i < docs; i++ {
+		doc, err := xmltree.ParseString("<ledger><seed/></ledger>")
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Open(name(i), doc, "qed"); err != nil {
+			return nil, err
+		}
+	}
+	for c := 0; c < commits; c++ {
+		// Deterministic 80/20 skew: four of every five commits land on
+		// one of the hot documents, the rest round-robin the cold ones.
+		target := name(c % hot)
+		if c%5 == 4 {
+			target = name(hot + c%(docs-hot))
+		}
+		_, err := d.Batch(target, func(doc *xmltree.Document, b *update.Batch) error {
+			root := doc.Root()
+			for i := 0; i < batchSize; i++ {
+				b.AppendChild(root, "entry")
+			}
+			if kids := root.Children(); len(kids) > 256 {
+				for i := 0; i < batchSize; i++ {
+					b.Delete(kids[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s commit %d: %w", mode, c, err)
+		}
+		if c == commits/2 {
+			if err := d.Checkpoint(); err != nil {
+				return nil, fmt.Errorf("%s mid-history checkpoint: %w", mode, err)
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+
+	measure := build
+	measure.RecoveryParallelism = workers
+	start := time.Now()
+	recovered, err := repo.OpenDurable(dir, measure)
+	if err != nil {
+		return nil, fmt.Errorf("%s recovery: %w", mode, err)
+	}
+	elapsed := time.Since(start)
+	liveBytes, _ := recovered.LogSize()
+	first, active, _ := recovered.SegmentRange()
+	if err := recovered.Close(); err != nil {
+		return nil, err
+	}
+	return []string{
+		mode,
+		fmt.Sprintf("%d", commits),
+		fmt.Sprintf("%d", liveBytes),
+		fmt.Sprintf("%d", active-first+1),
+		fmt.Sprintf("%.2f", float64(elapsed.Microseconds())/1000),
+	}, nil
 }
 
 // runC11 builds one history and times its recovery.

@@ -1,26 +1,44 @@
 // Durable repositories: the Repository's batched transactions backed
 // by a segmented write-ahead log, so every committed batch survives a
-// crash and OpenDurable replays snapshot + log back to the exact
+// crash and OpenDurable replays snapshots + log back to the exact
 // committed state (labels, order and attributes included — replay
 // re-runs the same deterministic op stream the live session ran), with
 // recovery cost bounded by the live log suffix, not the full history:
-// a background auto-checkpoint folds the log into a fresh snapshot
+// a background auto-checkpoint folds the log into fresh snapshots
 // whenever live log bytes pass a threshold and retires the dead
-// segments. docs/DURABILITY.md specifies the on-disk format and
-// recovery protocol in full; docs/OPERATIONS.md is the field guide.
+// segments. Checkpoints are incremental — only documents that changed
+// since the previous checkpoint are rewritten, each into its own
+// per-document snapshot file serialised from a pinned persistent
+// version (so writers are never blocked while state is encoded), and
+// the version-5 manifest maps every live document to its file, reusing
+// unchanged files across generations. Recovery is parallel: the
+// referenced snapshot files decode on a bounded worker pool and WAL
+// replay is partitioned by document (wal.ReplayPartitioned; RecMulti
+// is the barrier record). docs/DURABILITY.md specifies the on-disk
+// format and recovery protocol in full; docs/OPERATIONS.md is the
+// field guide.
 //
-// Directory layout (the manifest names the snapshot and the first live
-// segment; segment indices are global and never reused):
+// Directory layout (the manifest names the snapshot files and the
+// first live segment; segment indices are global and never reused):
 //
-//	MANIFEST              store version-4 manifest: generation, snapshot, first live segment
-//	snapshot-NNNNNN.xdyn  version-2 container as of the last checkpoint
-//	wal-NNNNNNNN.log      numbered log segments; batches since that snapshot
+//	MANIFEST              store version-5 manifest: generation, first live segment,
+//	                      document name → snapshot file + generation map
+//	doc-HHHH-NNNNNN.snap  version-6 per-document snapshots (hash of name, writing generation)
+//	wal-NNNNNNNN.log      numbered log segments; commits since those snapshots
+//
+// (A superseded version-4 manifest naming one snapshot-NNNNNN.xdyn
+// whole-repository container still opens; its first checkpoint
+// rewrites everything in the version-5 shape.)
 //
 // Locking protocol, outermost first (see docs/ARCHITECTURE.md):
 //
-//	commitMu  writers share-lock it; Checkpoint/Close take it
-//	          exclusively, so a checkpoint never interleaves with a
-//	          half-appended commit
+//	ckptMu    serialises whole checkpoints (which release commitMu
+//	          between their phases)
+//	commitMu  writers share-lock it; Close and checkpoint phases 1
+//	          and 3 take it exclusively, so a cut or a manifest
+//	          switch never interleaves with a half-appended commit.
+//	          Checkpoint's encode phase holds NO lock: writers keep
+//	          committing while pinned versions serialise
 //	doc.mu    per-document writer serialisation, as in Repository;
 //	          batch records are appended while it is held, so per-
 //	          document log order equals commit order (the log file
@@ -47,6 +65,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -118,11 +137,18 @@ type DurableOptions struct {
 	SegmentBytes int64
 	// AutoCheckpointBytes arms the background auto-checkpoint: when
 	// live log bytes (across all segments) exceed it, a checkpoint runs
-	// off the commit path, folding the log into a fresh snapshot and
+	// off the commit path, folding the log into fresh snapshots and
 	// deleting dead segments. Zero means DefaultAutoCheckpointBytes;
 	// negative disables auto-checkpointing (Checkpoint remains
 	// available manually).
 	AutoCheckpointBytes int64
+	// RecoveryParallelism bounds the worker pool OpenDurable uses to
+	// decode per-document snapshot files and to replay the WAL
+	// partitioned by document. Zero means GOMAXPROCS; negative (or 1)
+	// forces fully serial recovery. Recovery produces the same state at
+	// any setting — per-document order is preserved and RecMulti
+	// records are barriers — so this is purely a wall-clock knob.
+	RecoveryParallelism int
 }
 
 func (o DurableOptions) walOptions() wal.Options {
@@ -134,6 +160,16 @@ func (o DurableOptions) autoCheckpointBytes() int64 {
 		return o.AutoCheckpointBytes
 	}
 	return DefaultAutoCheckpointBytes
+}
+
+func (o DurableOptions) recoveryParallelism() int {
+	if o.RecoveryParallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.RecoveryParallelism < 1 {
+		return 1
+	}
+	return o.RecoveryParallelism
 }
 
 // DurableRepository is a Repository whose commits are write-ahead
@@ -150,8 +186,9 @@ type DurableRepository struct {
 	dir  string
 	opts DurableOptions
 
-	// commitMu: writers take the read side, Checkpoint/Close the write
-	// side — see the package doc's locking protocol.
+	// commitMu: writers take the read side, Close and checkpoint
+	// phases 1/3 the write side — see the file comment's locking
+	// protocol.
 	commitMu sync.RWMutex
 	// walMu serialises registry-record appends and guards failed.
 	// Batch appends do not take it: their order is already fixed by
@@ -163,6 +200,26 @@ type DurableRepository struct {
 	walFirst uint64 // first live segment index, as the manifest records
 	failed   error  // sticky ErrWALFailed cause, cleared by Checkpoint
 	closed   bool
+
+	// ckptMu serialises whole checkpoints: Checkpoint releases
+	// commitMu between its cut, encode and switch phases, so without
+	// it two concurrent checkpoints could compute the same generation.
+	// The incremental bookkeeping below it is only touched while it is
+	// held (or single-threaded, inside OpenDurable).
+	ckptMu sync.Mutex
+	// base records, per document, the state the current manifest holds:
+	// which snapshot file, written by which generation, and the
+	// document's version sequence at that point. A document is clean —
+	// its file reusable — iff its entry still matches the live slot
+	// (same *Doc, same sequence).
+	base map[string]docBaseline
+	// manDocs mirrors the on-disk manifest's per-document entries, so
+	// a checkpoint can retire files the new manifest stops referencing.
+	manDocs []store.ManifestDoc
+	// container is the legacy version-4 whole-repository snapshot the
+	// current manifest names, removed by the first (migrating)
+	// checkpoint; "" on the version-5 path.
+	container string
 
 	// Auto-checkpoint machinery: committers nudge ckptWake when live
 	// log bytes pass the threshold; the loop goroutine runs Checkpoint
@@ -177,15 +234,46 @@ type DurableRepository struct {
 
 func snapshotFileName(gen uint64) string { return fmt.Sprintf("snapshot-%06d.xdyn", gen) }
 
+// docBaseline is one document's entry in the dirty-tracking map: the
+// snapshot file the current manifest holds for it and the state that
+// file captures. The *Doc pointer (not just the name) is part of the
+// identity so a document dropped and reopened under the same name —
+// whose fresh version sequence could coincide with the recorded one —
+// can never be mistaken for clean.
+type docBaseline struct {
+	seq  uint64 // Doc.Version() the snapshot file captures
+	doc  *Doc   // the live slot the sequence belongs to
+	file string // per-document snapshot file (store.DocSnapName)
+	gen  uint64 // generation that wrote file
+}
+
+// ckptHooks are test seams for the crash-matrix harness: when non-nil
+// they fire between the externally visible steps of a checkpoint —
+// after the phase-1 cut (fresh segment created, manifest not yet
+// switched), after each per-document snapshot file lands, and after
+// the manifest switch but before dead files are retired. Production
+// code never sets them.
+var ckptHooks struct {
+	afterCut      func()
+	afterSnapFile func(file string)
+	afterManifest func()
+}
+
 // OpenDurable opens (creating if necessary) the durable repository in
-// dir: it reads the manifest, loads the snapshot it names, replays the
-// live WAL segments in index order from the manifest's first live
-// segment — tolerating a torn tail only on the last — and truncates
-// that tail so new commits extend the last valid record. Files the
-// manifest does not cover (snapshots it does not name, segments below
-// the first live index: orphans of a checkpoint that crashed around
-// its manifest switch) are removed. If auto-checkpointing is enabled
-// (it is by default; see DurableOptions.AutoCheckpointBytes) the
+// dir: it reads the manifest, loads the per-document snapshot files it
+// names — decoding them concurrently on a worker pool bounded by
+// DurableOptions.RecoveryParallelism — then replays the live WAL
+// segments in index order from the manifest's first live segment,
+// partitioned by document on the same pool (per-document record order
+// is preserved; RecMulti records are barriers), tolerating a torn tail
+// only on the last segment and truncating that tail so new commits
+// extend the last valid record. A superseded version-4 manifest (one
+// whole-repository container) still opens; the first checkpoint then
+// migrates the directory to the version-5 shape. Files the manifest
+// does not cover (snapshot files it does not name, segments below the
+// first live index: orphans of a checkpoint that crashed around its
+// manifest switch) are removed. If auto-checkpointing is enabled (it
+// is by default; see DurableOptions.AutoCheckpointBytes) the
 // background checkpointer is started before OpenDurable returns.
 func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -199,27 +287,143 @@ func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
 		return nil, fmt.Errorf("%w: manifest: %v", ErrReplay, err)
 	}
 
-	r := New(opts.Repo)
-	if man.Snapshot != "" {
+	d := &DurableRepository{repo: New(opts.Repo), dir: dir, opts: opts, gen: man.Gen, walFirst: man.WALFirst}
+	workers := opts.recoveryParallelism()
+	// The time-travel window resets on recovery: stamps are an
+	// in-memory construct, and the replayed history must not re-enter
+	// the retained window — a pre-crash stamp that numerically lands on
+	// a replayed commit would otherwise alias an unrelated state
+	// instead of failing with ErrVersionEvicted. Retention is
+	// suppressed while snapshots load and the log replays, and restored
+	// (happens-before the repository is published) for live commits.
+	retain := d.repo.retain
+	d.repo.retain = 0
+	switch {
+	case man.Snapshot != "":
+		// Legacy version-4 manifest: one whole-repository container. No
+		// baselines are recorded, so the first checkpoint sees every
+		// document dirty and rewrites the directory in the v5 shape.
+		d.container = man.Snapshot
 		data, err := os.ReadFile(filepath.Join(dir, man.Snapshot))
 		if err != nil {
 			return nil, fmt.Errorf("%w: snapshot: %v", ErrReplay, err)
 		}
-		if r, err = Load(data, opts.Repo); err != nil {
+		if d.repo, err = Load(data, opts.Repo); err != nil {
 			return nil, fmt.Errorf("%w: snapshot: %v", ErrReplay, err)
 		}
+		d.repo.retain = 0 // Load built a fresh repository; re-suppress
+	case len(man.Docs) > 0:
+		if err := d.loadDocSnaps(man.Docs, workers); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrReplay, err)
+		}
+		// Baselines are recorded BEFORE replay: replay advances the
+		// version sequence of every document it touches, which is
+		// exactly what marks those documents dirty for the next
+		// checkpoint.
+		d.base = make(map[string]docBaseline, len(man.Docs))
+		for _, e := range man.Docs {
+			doc, ok := d.repo.Get(e.Name)
+			if !ok {
+				return nil, fmt.Errorf("%w: snapshot %s did not register %q", ErrReplay, e.File, e.Name)
+			}
+			d.base[e.Name] = docBaseline{seq: doc.Version(), doc: doc, file: e.File, gen: e.Gen}
+		}
+		d.manDocs = man.Docs
 	}
-	d := &DurableRepository{repo: r, dir: dir, opts: opts, gen: man.Gen, walFirst: man.WALFirst}
-	info, err := wal.Replay(dir, man.WALFirst, d.applyRecord)
+	info, err := wal.ReplayPartitioned(dir, man.WALFirst, workers, routeRecord, d.applyRecord)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrReplay, err)
 	}
+	d.repo.retain = retain
 	if d.log, err = wal.OpenAt(dir, info, opts.walOptions()); err != nil {
 		return nil, fmt.Errorf("%w: reopen log: %v", ErrReplay, err)
 	}
 	d.removeOrphans(man)
 	d.startAutoCheckpoint()
 	return d, nil
+}
+
+// loadDocSnaps reads and decodes the manifest's per-document snapshot
+// files on a bounded worker pool and registers each document in the
+// in-memory repository (the shard map is mutex-guarded, so concurrent
+// registration is safe; entry names are unique by manifest
+// validation). Each file's embedded document name must match the
+// manifest entry that referenced it — a mismatch (hash collision,
+// tampering, misplaced file) fails recovery loudly rather than loading
+// a document under the wrong name.
+func (d *DurableRepository) loadDocSnaps(docs []store.ManifestDoc, workers int) error {
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, e := range docs {
+		wg.Add(1)
+		go func(e store.ManifestDoc) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop {
+				return
+			}
+			data, err := os.ReadFile(filepath.Join(d.dir, e.File))
+			if err != nil {
+				fail(fmt.Errorf("snapshot %s: %v", e.File, err))
+				return
+			}
+			snap, err := store.UnmarshalDocSnap(data)
+			if err != nil {
+				fail(fmt.Errorf("snapshot %s: %v", e.File, err))
+				return
+			}
+			if snap.Name != e.Name {
+				fail(fmt.Errorf("snapshot %s holds document %q, manifest expects %q", e.File, snap.Name, e.Name))
+				return
+			}
+			doc, err := update.DecodeDocTree(snap.Tree)
+			if err != nil {
+				fail(fmt.Errorf("snapshot %s: %v", e.File, err))
+				return
+			}
+			if _, err := d.repo.Open(e.Name, doc, snap.Scheme); err != nil {
+				fail(fmt.Errorf("snapshot %s: %v", e.File, err))
+			}
+		}(e)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// routeRecord partitions a WAL record for parallel replay without
+// decoding its body: per-document records route by the document name
+// they start with, and RecMulti — the only record touching several
+// documents — is a barrier. Malformed payloads fall through to
+// applyRecord's error reporting via a serial barrier, so parallel and
+// serial replay reject the same logs.
+func routeRecord(payload []byte) (wal.Dispatch, error) {
+	if len(payload) == 0 || payload[0] == RecMulti {
+		return wal.Dispatch{Barrier: true}, nil
+	}
+	name, _, err := readRecordString(payload[1:])
+	if err != nil {
+		return wal.Dispatch{Barrier: true}, nil
+	}
+	return wal.Dispatch{Key: name}, nil
 }
 
 // bootstrapDurable initialises a fresh directory: generation 1, no
@@ -241,21 +445,25 @@ func bootstrapDurable(dir string, opts DurableOptions) (*DurableRepository, erro
 	return d, nil
 }
 
-// removeOrphans deletes files the manifest does not cover — snapshots
-// it does not name and segments below the first live index, leftovers
-// of a checkpoint that crashed before or after its manifest switch —
-// plus stray atomic-write temp files. Segments at or above the first
-// live index are the live set (including an empty one a crashed
-// checkpoint or rotation created: it is contiguous with the set and
-// simply becomes the append tail).
+// removeOrphans deletes files the manifest does not cover — snapshot
+// files it does not name and segments below the first live index,
+// leftovers of a checkpoint that crashed before or after its manifest
+// switch — plus stray atomic-write temp files. Segments at or above
+// the first live index are the live set (including an empty one a
+// crashed checkpoint or rotation created: it is contiguous with the
+// set and simply becomes the append tail).
 func (d *DurableRepository) removeOrphans(man store.Manifest) {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
 		return
 	}
+	ref := make(map[string]bool, len(man.Docs))
+	for _, e := range man.Docs {
+		ref[e.File] = true
+	}
 	for _, e := range entries {
 		name := e.Name()
-		if name == store.ManifestName || name == man.Snapshot {
+		if name == store.ManifestName || name == man.Snapshot || ref[name] {
 			continue
 		}
 		if idx, ok := wal.ParseSegmentName(name); ok {
@@ -265,6 +473,7 @@ func (d *DurableRepository) removeOrphans(man store.Manifest) {
 			continue
 		}
 		if strings.HasSuffix(name, ".tmp") ||
+			store.IsDocSnapName(name) ||
 			(strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".xdyn")) {
 			_ = os.Remove(filepath.Join(d.dir, name))
 		}
@@ -841,95 +1050,220 @@ func (d *DurableRepository) AutoCheckpoints() (uint64, error) {
 
 // --- checkpoint and close ----------------------------------------------------
 
-// Checkpoint folds the log into a fresh snapshot: it excludes all
-// writers, syncs the old log's tail, saves the whole repository into a
-// new version-2 container, starts a fresh segment with the next index,
-// switches the manifest to the new generation atomically (recording
-// that segment as the first live one), and deletes the dead segments
-// and the old snapshot. A crash at any step recovers to a consistent
-// state — before the manifest switch the old snapshot is loaded and
-// the old segment range replayed (the fresh segment, if it was
-// created, is just an empty tail of that range); after the switch, the
-// new pair is current and everything below the new first segment is an
-// orphan. Checkpoint also clears a WAL append failure: the new
-// snapshot re-captures the full in-memory state, so nothing the failed
-// log lost is missing.
+// dirtyDoc is one document a checkpoint must rewrite: its pinned
+// version (frozen, so encoding needs no locks) and the snapshot file
+// it will become.
+type dirtyDoc struct {
+	name string
+	file string
+	v    *docVersion
+}
+
+// Checkpoint folds the log into fresh per-document snapshots,
+// incrementally: only documents whose version sequence moved since the
+// current manifest are rewritten; every other manifest entry reuses
+// the previous generation's file. It runs in three phases so writers
+// are excluded only for two O(documents) bookkeeping windows, never
+// while state is serialised:
+//
+//  1. The cut (writers excluded): sync the old tail, start a fresh
+//     segment with the next index and swap it in — commits from here
+//     on land after the cut — then pin each dirty document's current
+//     persistent version (O(1) per document, PR 6).
+//  2. Encode (no locks): serialise each pinned frozen version into
+//     its doc-*.snap file via atomic writes. Writers keep committing;
+//     their records land in the fresh segment, which the new manifest
+//     replays.
+//  3. The switch (writers excluded): write the version-5 manifest
+//     naming every entry and the fresh segment as first live, then
+//     retire dead segments and unreferenced old snapshot files.
+//
+// A crash at any step recovers to a consistent state: before the
+// manifest switch the old manifest is current and its segment range —
+// which extends contiguously into the fresh segment and any post-cut
+// commits — replays everything, with this attempt's snapshot files as
+// unreferenced orphans; after the switch the new file set is current
+// and the dead segments are orphans. Checkpoint also clears a WAL
+// append failure observed at the cut: the pinned versions re-capture
+// the full in-memory state, so nothing the failed log lost is missing
+// (post-cut failures stay sticky — their divergence is not captured).
 func (d *DurableRepository) Checkpoint() error {
+	// One checkpoint at a time: commitMu is released between phases, so
+	// without this two checkpoints could race to the same generation.
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+
+	// --- phase 1: the cut --------------------------------------------
 	d.commitMu.Lock()
-	defer d.commitMu.Unlock()
 	if d.closed {
+		d.commitMu.Unlock()
 		return ErrClosed
-	}
-	data, err := d.repo.Save()
-	if err != nil {
-		return err
 	}
 	// Sync the old tail: under SyncAsync the last commits may still be
 	// unsynced, and sealing them here keeps the common recovery path
-	// simple. Proceeding on failure (a poisoned log refuses the sync)
-	// is still safe: a crash before the manifest switch then leaves a
-	// torn old segment followed only by the fresh record-free one,
-	// the one mid-set shape replay explicitly tolerates — the tear
-	// cuts a clean, never-acknowledged suffix — and the switch itself
-	// makes the old segments dead. This is also what lets Checkpoint
-	// remain the documented recovery from ErrWALFailed.
-	_ = d.log.Sync()
+	// simple. On failure the old tail may be torn, so the failure is
+	// recorded as the sticky WAL poison before the cut: post-cut
+	// commits are then refused, the fresh segment stays record-free,
+	// and a crash before the switch leaves exactly the one mid-set
+	// shape replay tolerates — a torn segment followed by record-free
+	// ones. This is also what lets Checkpoint remain the documented
+	// recovery from ErrWALFailed: the cut observes the poison, the
+	// pinned versions capture everything the failed log lost, and
+	// success clears it.
+	syncErr := d.log.Sync()
+	d.walMu.Lock()
+	if syncErr != nil && d.failed == nil {
+		d.failed = syncErr
+	}
+	failedAtCut := d.failed
+	d.walMu.Unlock()
 	newGen := d.gen + 1
 	newFirst := d.log.ActiveIndex() + 1
-	snapName := snapshotFileName(newGen)
-	snapPath := filepath.Join(d.dir, snapName)
-	if err := store.WriteFileAtomic(snapPath, data); err != nil {
-		return err
-	}
+	// A fresh wal.Log (not Rotate, which refuses on a poisoned log) is
+	// the cut: records appended after this line land in segment
+	// newFirst or later, which the new manifest will replay — and the
+	// old manifest replays them too, as a contiguous extension of its
+	// range, so the cut is crash-safe before the switch.
 	newLog, err := wal.Create(d.dir, newFirst, d.opts.walOptions())
 	if err != nil {
-		// Remove the snapshot this failed attempt wrote: a repeatedly
-		// failing checkpoint must not accumulate one orphan per try
-		// until the next OpenDurable sweeps them.
-		_ = os.Remove(snapPath)
+		d.commitMu.Unlock()
 		return err
 	}
-	if err := store.WriteManifest(d.dir, store.Manifest{Gen: newGen, Snapshot: snapName, WALFirst: newFirst}); err != nil {
-		newLog.Close()
+	oldLog := d.log
+	d.log = newLog
+	_ = oldLog.Close()
+	// Membership + dirty set: pin every changed document's current
+	// version; reuse the recorded file for every clean one. O(1) per
+	// document — no tree is touched.
+	names := d.repo.Names()
+	entries := make([]store.ManifestDoc, 0, len(names))
+	newBase := make(map[string]docBaseline, len(names))
+	used := make(map[string]bool, len(names))
+	var dirty []dirtyDoc
+	for _, name := range names {
+		doc, ok := d.repo.Get(name)
+		if !ok {
+			continue // dropped between Names and Get
+		}
+		seq := doc.Version()
+		if b, ok := d.base[name]; ok && b.doc == doc && b.seq == seq {
+			entries = append(entries, store.ManifestDoc{Name: name, File: b.file, Gen: b.gen})
+			newBase[name] = b
+			used[b.file] = true
+			continue
+		}
+		file := store.DocSnapName(name, newGen, 0)
+		for salt := uint64(1); used[file]; salt++ {
+			file = store.DocSnapName(name, newGen, salt)
+		}
+		used[file] = true
+		dirty = append(dirty, dirtyDoc{name: name, file: file, v: doc.pinCurrent()})
+		entries = append(entries, store.ManifestDoc{Name: name, File: file, Gen: newGen})
+		newBase[name] = docBaseline{seq: seq, doc: doc, file: file, gen: newGen}
+	}
+	d.commitMu.Unlock()
+	if ckptHooks.afterCut != nil {
+		ckptHooks.afterCut()
+	}
+
+	// --- phase 2: encode, lock-free ----------------------------------
+	// The pinned versions are frozen: encoding walks them while writers
+	// commit freely (lazy view expansion is concurrency-safe, PR 6).
+	var written []string
+	cleanupWritten := func() {
+		for _, f := range written {
+			_ = os.Remove(filepath.Join(d.dir, f))
+		}
+	}
+	for i, dd := range dirty {
+		scheme := dd.v.scheme
+		tree := update.EncodeDocTree(dd.v.document())
+		dd.v.unpin()
+		data := store.MarshalDocSnap(store.DocSnap{Name: dd.name, Scheme: scheme, Tree: tree})
+		if err := store.WriteFileAtomic(filepath.Join(d.dir, dd.file), data); err != nil {
+			for _, rest := range dirty[i+1:] {
+				rest.v.unpin()
+			}
+			cleanupWritten()
+			return err
+		}
+		written = append(written, dd.file)
+		if ckptHooks.afterSnapFile != nil {
+			ckptHooks.afterSnapFile(dd.file)
+		}
+	}
+
+	// --- phase 3: the switch -----------------------------------------
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+	if d.closed {
+		cleanupWritten()
+		return ErrClosed
+	}
+	if err := store.WriteManifest(d.dir, store.Manifest{Gen: newGen, WALFirst: newFirst, Docs: entries}); err != nil {
 		// The switch may have landed even though WriteManifest errored
 		// (its rename can succeed and only the directory fsync fail),
 		// so re-read the manifest to learn which generation is current
 		// before cleaning up — deleting files a switched manifest
 		// points at would corrupt the repository to fix a leak.
 		if man, rerr := store.ReadManifest(d.dir); rerr == nil && man.Gen == d.gen {
-			// The switch did not land: this attempt's snapshot and
-			// fresh segment are orphans; remove them so a repeatedly
-			// failing checkpoint does not accumulate garbage.
-			_ = os.Remove(filepath.Join(d.dir, wal.SegmentName(newFirst)))
-			_ = os.Remove(snapPath)
+			// The switch did not land: this attempt's snapshot files
+			// are orphans; remove them so a repeatedly failing
+			// checkpoint does not accumulate garbage. The fresh
+			// segment is NOT removable — post-cut commits may already
+			// sit in it — so it stays as the live append tail,
+			// contiguous with the old manifest's range (recovery
+			// replays it; the only cost is a 5-byte header per failed
+			// attempt).
+			cleanupWritten()
 			return err
 		}
 		// The switch landed (or the manifest state is unknowable) while
-		// the in-memory repository still points at the old generation,
-		// whose segments a recovery under the new manifest would never
-		// replay. Committing would fsync records into retired files and
-		// silently lose them at the next crash — poison instead, and
-		// leave every file in place: a retried Checkpoint recomputes
-		// the same generation and first-segment index, so it converges
-		// on (re)writing the same snapshot/segment/manifest and clears
-		// the poison; until then recovery is correct under either
-		// manifest (old: its snapshot and segments are all still
-		// present; new: the new pair is complete and the old files are
-		// orphans).
+		// the in-memory bookkeeping still describes the old generation.
+		// Poison commits and advance the in-memory generation PAST the
+		// doubted one: a retried checkpoint must not reuse generation
+		// newGen for new snapshot files — the doubted manifest, if it
+		// landed, references files of that name, and overwriting them
+		// with post-poison state would break replay (the on-disk
+		// WALFirst would no longer match the snapshot's cut). With the
+		// generation skipped, the retry writes fresh file names and a
+		// fresh manifest, converging under either on-disk outcome;
+		// whichever files lose become orphans for the next open's
+		// sweep. Recovery is correct under either manifest meanwhile:
+		// the old one replays the contiguous segment range including
+		// the fresh tail, the new one has its complete file set.
+		d.gen = newGen
 		d.walMu.Lock()
 		d.failed = fmt.Errorf("checkpoint manifest switch in doubt: %v", err)
 		d.walMu.Unlock()
 		return err
 	}
-	// The new generation is current: retire the old one. Close errors
-	// on a poisoned log are expected and must not fail the checkpoint.
-	oldLog, oldGen, oldFirst := d.log, d.gen, d.walFirst
-	d.log, d.gen, d.walFirst, d.failed = newLog, newGen, newFirst, nil
-	_ = oldLog.Close()
+	if ckptHooks.afterManifest != nil {
+		ckptHooks.afterManifest()
+	}
+	// The new generation is current: retire the old one. Clear the WAL
+	// poison only if it is still the failure the cut observed — the
+	// pinned versions captured everything up to the cut, but a commit
+	// that failed DURING the encode phase diverged after it.
+	oldFirst, oldMan, oldContainer := d.walFirst, d.manDocs, d.container
+	d.gen, d.walFirst = newGen, newFirst
+	d.base, d.manDocs, d.container = newBase, entries, ""
+	d.walMu.Lock()
+	if d.failed != nil && d.failed == failedAtCut {
+		d.failed = nil
+	}
+	d.walMu.Unlock()
 	for idx := oldFirst; idx < newFirst; idx++ {
 		_ = os.Remove(filepath.Join(d.dir, wal.SegmentName(idx)))
 	}
-	_ = os.Remove(filepath.Join(d.dir, snapshotFileName(oldGen)))
+	for _, e := range oldMan {
+		if !used[e.File] {
+			_ = os.Remove(filepath.Join(d.dir, e.File))
+		}
+	}
+	if oldContainer != "" {
+		_ = os.Remove(filepath.Join(d.dir, oldContainer))
+	}
 	return nil
 }
 

@@ -239,105 +239,109 @@ func TestCheckpointTruncatesLogAndSurvivesReopen(t *testing.T) {
 	}
 }
 
-// Kill-during-checkpoint: a crash after the new generation's files are
-// written but before the manifest switch must recover from the OLD
-// snapshot+log pair and clean up the orphans; a crash just after the
-// switch must recover from the new pair.
-func TestKillDuringCheckpoint(t *testing.T) {
+// A directory checkpointed by the superseded version-4 scheme (one
+// whole-repository container) still opens, replays its live tail, and
+// migrates to the version-5 per-document shape on its first
+// checkpoint: the manifest gains per-document entries, the container
+// is retired, and recovery from the migrated directory is exact.
+// (Kill-during-checkpoint crash windows are covered exhaustively by
+// the crash-matrix harness in crashmatrix_test.go.)
+func TestV4ManifestMigration(t *testing.T) {
 	dir := t.TempDir()
-	d, err := OpenDurable(dir, DurableOptions{})
+	opts := DurableOptions{AutoCheckpointBytes: -1}
+	d, err := OpenDurable(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	seedAndBatch(t, d, 5)
-	want := docTable(t, d, "books")
-
-	// Simulate the crash window: write the next generation's snapshot
-	// and create the fresh segment exactly as Checkpoint does, then
-	// "crash" before the manifest switch.
+	want := docXML(t, d, "books")
+	wantFeeds := docXML(t, d, "feeds")
 	data, err := d.repo.Save()
 	if err != nil {
 		t.Fatal(err)
 	}
+	_, active, _ := d.SegmentRange()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the directory as a completed version-4 checkpoint would
+	// have left it: the container, a fresh segment, a version-4
+	// manifest naming both, and the dead segments gone.
 	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(2)), data); err != nil {
 		t.Fatal(err)
 	}
-	freshLog, err := wal.Create(dir, 2, wal.Options{})
+	fresh, err := wal.Create(dir, active+1, wal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = freshLog.Close()
-	// Also leave a torn snapshot temp file, as an interrupted atomic
-	// write would.
-	if err := os.WriteFile(filepath.Join(dir, snapshotFileName(3)+".tmp"), data[:10], 0o644); err != nil {
+	_ = fresh.Close()
+	v4 := store.MarshalManifestV4(store.Manifest{Gen: 2, Snapshot: snapshotFileName(2), WALFirst: active + 1})
+	if err := store.WriteFileAtomic(filepath.Join(dir, store.ManifestName), v4); err != nil {
 		t.Fatal(err)
 	}
+	for idx := uint64(1); idx <= active; idx++ {
+		_ = os.Remove(filepath.Join(dir, wal.SegmentName(idx)))
+	}
 
-	recovered, err := OpenDurable(dir, DurableOptions{})
+	rec, err := OpenDurable(dir, opts)
 	if err != nil {
-		t.Fatalf("recovery mid-checkpoint: %v", err)
+		t.Fatalf("open v4 directory: %v", err)
 	}
-	if recovered.Generation() != 1 {
-		t.Fatalf("generation = %d, want 1 (manifest never switched)", recovered.Generation())
+	if rec.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", rec.Generation())
 	}
-	if got := docTable(t, recovered, "books"); !reflect.DeepEqual(got, want) {
-		t.Fatalf("mid-checkpoint recovery diverged:\n got %v\nwant %v", got, want)
+	if got := docXML(t, rec, "books"); got != want {
+		t.Fatalf("v4 recovery diverged (books):\n got %v\nwant %v", got, want)
 	}
-	for _, orphan := range []string{snapshotFileName(2), snapshotFileName(3) + ".tmp"} {
-		if _, err := os.Stat(filepath.Join(dir, orphan)); !os.IsNotExist(err) {
-			t.Fatalf("orphan %s not cleaned up", orphan)
-		}
+	if got := docXML(t, rec, "feeds"); got != wantFeeds {
+		t.Fatalf("v4 recovery diverged (feeds):\n got %v\nwant %v", got, wantFeeds)
 	}
-	// The fresh segment is NOT an orphan: it is contiguous with the
-	// live set and recovery adopts it as the empty append tail.
-	if first, active, ok := recovered.SegmentRange(); !ok || first != 1 || active != 2 {
-		t.Fatalf("segment range = [%d..%d], want [1..2] (crashed checkpoint's segment adopted)", first, active)
-	}
-
-	// Other side of the window: a completed manifest switch with the
-	// old generation's files still lying around (crash before delete).
-	if err := recovered.Checkpoint(); err != nil {
+	// Commits against the migrated-from state still log and recover.
+	if _, err := rec.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "migrated")
+		return nil
+	}); err != nil {
 		t.Fatal(err)
 	}
-	wantXML := docXML(t, recovered, "books")
+	// The first checkpoint migrates: no baselines exist for a v4
+	// directory, so every document is dirty and the new manifest is
+	// fully version-5.
+	if err := rec.Checkpoint(); err != nil {
+		t.Fatalf("migrating checkpoint: %v", err)
+	}
 	man, err := store.ReadManifest(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if man.WALFirst != 3 {
-		t.Fatalf("manifest first segment = %d, want 3 (checkpoint rotated past the adopted tail)", man.WALFirst)
+	if man.Gen != 3 || man.Snapshot != "" || len(man.Docs) != 2 {
+		t.Fatalf("migrated manifest = %+v, want gen 3, no container, 2 docs", man)
 	}
-	// Recreate stale pre-switch leftovers: the old snapshot and the
-	// dead segments the crashed delete step would have left behind.
-	if err := os.WriteFile(filepath.Join(dir, snapshotFileName(1)), data, 0o644); err != nil {
+	for _, e := range man.Docs {
+		if e.Gen != 3 {
+			t.Fatalf("entry %q reuses gen %d, want a fresh gen-3 file on migration", e.Name, e.Gen)
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.File)); err != nil {
+			t.Fatalf("migrated snapshot %s missing: %v", e.File, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFileName(2))); !os.IsNotExist(err) {
+		t.Fatal("v4 container not retired by the migrating checkpoint")
+	}
+	wantXML := docXML(t, rec, "books")
+	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
-	for idx := uint64(1); idx < man.WALFirst; idx++ {
-		stale, err := wal.Create(dir, idx, wal.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		_ = stale.Close()
-	}
 
-	reopened, err := OpenDurable(dir, DurableOptions{})
+	migrated, err := OpenDurable(dir, opts)
 	if err != nil {
-		t.Fatalf("recovery post-switch: %v", err)
+		t.Fatalf("recovery from migrated directory: %v", err)
 	}
-	defer reopened.Close()
-	if reopened.Generation() != man.Gen {
-		t.Fatalf("generation = %d, want %d", reopened.Generation(), man.Gen)
+	defer migrated.Close()
+	if got := docXML(t, migrated, "books"); got != wantXML {
+		t.Fatalf("migrated recovery diverged:\n got %s\nwant %s", got, wantXML)
 	}
-	if got := docXML(t, reopened, "books"); got != wantXML {
-		t.Fatalf("post-switch recovery diverged:\n got %s\nwant %s", got, wantXML)
-	}
-	for idx := uint64(1); idx < man.WALFirst; idx++ {
-		if _, err := os.Stat(filepath.Join(dir, wal.SegmentName(idx))); !os.IsNotExist(err) {
-			t.Fatalf("dead segment %d not cleaned up", idx)
-		}
-	}
-	if _, err := os.Stat(filepath.Join(dir, snapshotFileName(1))); !os.IsNotExist(err) {
-		t.Fatal("stale generation-1 snapshot not cleaned up")
+	if err := migrated.Verify("books"); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -643,168 +647,6 @@ func TestAutoCheckpointFires(t *testing.T) {
 	}
 	if err := recovered.Verify("books"); err != nil {
 		t.Fatalf("recovered order: %v", err)
-	}
-}
-
-// The narrowest checkpoint crash window: the old active segment ends
-// in a torn (never-fsynced, never-acknowledged) tail, the checkpoint
-// had already created its fresh segment, and the crash hit before the
-// manifest switch. Recovery must tolerate the torn non-final segment
-// — its successors are record-free, so the tear is a clean suffix cut
-// — and come back with exactly the acknowledged state.
-func TestKillDuringCheckpointWithUnsyncedTail(t *testing.T) {
-	dir := t.TempDir()
-	opts := DurableOptions{AutoCheckpointBytes: -1}
-	d, err := OpenDurable(dir, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	seedAndBatch(t, d, 6)
-	want := docTable(t, d, "books")
-	wantFeeds := docTable(t, d, "feeds")
-	_, active, _ := d.SegmentRange()
-	// Simulate the unsynced tail a poisoned/async log would leave: raw
-	// garbage (a torn half-frame) appended straight to the file.
-	f, err := os.OpenFile(filepath.Join(dir, wal.SegmentName(active)), os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.Write([]byte{0xCA, 0xFE, 0xBA}); err != nil {
-		t.Fatal(err)
-	}
-	_ = f.Close()
-	// The dying checkpoint's leftovers: its snapshot and fresh segment.
-	data, err := d.repo.Save()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(2)), data); err != nil {
-		t.Fatal(err)
-	}
-	fresh, err := wal.Create(dir, active+1, wal.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	_ = fresh.Close()
-
-	recovered, err := OpenDurable(dir, opts)
-	if err != nil {
-		t.Fatalf("recovery with unsynced checkpoint tail: %v", err)
-	}
-	defer recovered.Close()
-	if recovered.Generation() != 1 {
-		t.Fatalf("generation = %d, want 1", recovered.Generation())
-	}
-	if got := docTable(t, recovered, "books"); !reflect.DeepEqual(got, want) {
-		t.Fatalf("recovery diverged (books):\n got %v\nwant %v", got, want)
-	}
-	if got := docTable(t, recovered, "feeds"); !reflect.DeepEqual(got, wantFeeds) {
-		t.Fatalf("recovery diverged (feeds):\n got %v\nwant %v", got, wantFeeds)
-	}
-	// Appends resume, and survive yet another recovery.
-	if _, err := recovered.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
-		b.AppendChild(doc.Root(), "resumed")
-		return nil
-	}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// Kill during an auto-checkpoint, on both sides of the manifest
-// switch, starting from a directory the auto-checkpointer has already
-// compacted (generation ≥ 2, first live segment > 1).
-func TestKillDuringAutoCheckpoint(t *testing.T) {
-	dir := t.TempDir()
-	d, err := OpenDurable(dir, DurableOptions{SegmentBytes: 256, AutoCheckpointBytes: 1024})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := d.Open("books", mustParse(t, "<lib/>"), "qed"); err != nil {
-		t.Fatal(err)
-	}
-	var runs uint64
-	for i := 0; i < 4000; i++ {
-		if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
-			b.AppendChild(doc.Root(), fmt.Sprintf("b%d", i))
-			return nil
-		}); err != nil {
-			t.Fatal(err)
-		}
-		if runs, _ = d.AutoCheckpoints(); runs >= 1 {
-			break
-		}
-	}
-	if runs < 1 {
-		t.Fatal("auto-checkpoint never fired")
-	}
-	want := docXML(t, d, "books")
-	gen := d.Generation()
-	_, active, _ := d.SegmentRange()
-	data, err := d.repo.Save()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Crash side A: the NEXT auto-checkpoint died after writing its
-	// snapshot and fresh segment, before the manifest switch.
-	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(gen+1)), data); err != nil {
-		t.Fatal(err)
-	}
-	fl, err := wal.Create(dir, active+1, wal.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	_ = fl.Close()
-
-	frozen := DurableOptions{AutoCheckpointBytes: -1}
-	rec, err := OpenDurable(dir, frozen)
-	if err != nil {
-		t.Fatalf("recovery pre-switch: %v", err)
-	}
-	if rec.Generation() != gen {
-		t.Fatalf("generation = %d, want %d (switch never happened)", rec.Generation(), gen)
-	}
-	if got := docXML(t, rec, "books"); got != want {
-		t.Fatalf("pre-switch recovery diverged:\n got %s\nwant %s", got, want)
-	}
-	if _, err := os.Stat(filepath.Join(dir, snapshotFileName(gen+1))); !os.IsNotExist(err) {
-		t.Fatal("unswitched checkpoint snapshot not cleaned up")
-	}
-
-	// Crash side B: the checkpoint switched the manifest but died
-	// before deleting the dead segments and old snapshot.
-	data2, err := rec.repo.Save()
-	if err != nil {
-		t.Fatal(err)
-	}
-	first2, active2, _ := rec.SegmentRange()
-	newFirst := active2 + 1
-	if err := store.WriteFileAtomic(filepath.Join(dir, snapshotFileName(gen+1)), data2); err != nil {
-		t.Fatal(err)
-	}
-	fl2, err := wal.Create(dir, newFirst, wal.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	_ = fl2.Close()
-	if err := store.WriteManifest(dir, store.Manifest{Gen: gen + 1, Snapshot: snapshotFileName(gen + 1), WALFirst: newFirst}); err != nil {
-		t.Fatal(err)
-	}
-
-	rec2, err := OpenDurable(dir, frozen)
-	if err != nil {
-		t.Fatalf("recovery post-switch: %v", err)
-	}
-	defer rec2.Close()
-	if rec2.Generation() != gen+1 {
-		t.Fatalf("generation = %d, want %d", rec2.Generation(), gen+1)
-	}
-	if got := docXML(t, rec2, "books"); got != want {
-		t.Fatalf("post-switch recovery diverged:\n got %s\nwant %s", got, want)
-	}
-	for idx := first2; idx < newFirst; idx++ {
-		if _, err := os.Stat(filepath.Join(dir, wal.SegmentName(idx))); !os.IsNotExist(err) {
-			t.Fatalf("dead segment %d not cleaned up", idx)
-		}
 	}
 }
 

@@ -628,9 +628,11 @@ func TestOpenDropReopenAcrossSegments(t *testing.T) {
 	}
 }
 
-// A failing Checkpoint must not leave its snapshot (or, past the
-// segment-creation step, its fresh segment) behind: a repeatedly
-// failing checkpoint would otherwise accumulate one orphan per try.
+// A failing Checkpoint must not leave snapshot orphans behind: a
+// repeatedly failing checkpoint would otherwise accumulate one file
+// per try. The fresh segment a failed manifest switch leaves is NOT
+// an orphan — post-cut commits may already live in it, so it stays
+// the live tail (cost: one near-empty segment per failed attempt).
 func TestCheckpointFailureLeavesNoOrphans(t *testing.T) {
 	dir := t.TempDir()
 	d, err := OpenDurable(dir, DurableOptions{AutoCheckpointBytes: -1})
@@ -640,19 +642,24 @@ func TestCheckpointFailureLeavesNoOrphans(t *testing.T) {
 	defer d.Close()
 	seedAndBatch(t, d, 4)
 
-	snapshots := func() []string {
+	snapFiles := func() []string {
 		t.Helper()
-		matches, err := filepath.Glob(filepath.Join(dir, "snapshot-*.xdyn"))
-		if err != nil {
-			t.Fatal(err)
+		var got []string
+		for _, pat := range []string{"doc-*.snap", "snapshot-*.xdyn"} {
+			matches, err := filepath.Glob(filepath.Join(dir, pat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, matches...)
 		}
-		return matches
+		return got
 	}
 	_, active, _ := d.SegmentRange()
 
 	// Failure mode 1: segment creation fails (the next segment's path
-	// is taken by a directory). The snapshot written just before must
-	// be removed — twice, to prove nothing accumulates.
+	// is taken by a directory). The checkpoint aborts at the cut,
+	// before any snapshot is written — twice, to prove nothing
+	// accumulates — and the repository keeps committing on the old log.
 	blockSeg := filepath.Join(dir, wal.SegmentName(active+1))
 	if err := os.Mkdir(blockSeg, 0o755); err != nil {
 		t.Fatal(err)
@@ -661,14 +668,23 @@ func TestCheckpointFailureLeavesNoOrphans(t *testing.T) {
 		if err := d.Checkpoint(); err == nil {
 			t.Fatal("checkpoint succeeded despite blocked segment creation")
 		}
-		if got := snapshots(); len(got) != 0 {
+		if got := snapFiles(); len(got) != 0 {
 			t.Fatalf("failed checkpoint left snapshot orphans: %v", got)
 		}
 	}
+	if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "mid")
+		return nil
+	}); err != nil {
+		t.Fatalf("commit after aborted cut: %v", err)
+	}
 
 	// Failure mode 2: the manifest switch fails (its temp path is
-	// taken by a directory). Both the snapshot AND the fresh segment
-	// must be removed.
+	// taken by a directory). The attempt's snapshot files must be
+	// removed, but the fresh segment created at the cut survives as
+	// the live tail: the old manifest plus the contiguous segment
+	// chain still replays everything, including commits made after
+	// the failed attempt.
 	if err := os.Remove(blockSeg); err != nil {
 		t.Fatal(err)
 	}
@@ -679,26 +695,40 @@ func TestCheckpointFailureLeavesNoOrphans(t *testing.T) {
 	if err := d.Checkpoint(); err == nil {
 		t.Fatal("checkpoint succeeded despite blocked manifest write")
 	}
-	if got := snapshots(); len(got) != 0 {
+	if got := snapFiles(); len(got) != 0 {
 		t.Fatalf("failed checkpoint left snapshot orphans: %v", got)
 	}
-	if _, err := os.Stat(blockSeg); !os.IsNotExist(err) {
-		t.Fatalf("failed checkpoint left its fresh segment: %v", err)
+	if _, err := os.Stat(blockSeg); err != nil {
+		t.Fatalf("fresh segment (the post-cut live tail) missing: %v", err)
 	}
+	if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(doc.Root(), "after")
+		return nil
+	}); err != nil {
+		t.Fatalf("commit after failed manifest switch: %v", err)
+	}
+	// The succeeding checkpoint below routes recovery through a
+	// snapshot, which relabels — compare the label-independent form.
+	want := docXML(t, d, "books")
 
-	// Unblock: the next checkpoint must succeed and the repository
-	// must keep committing and recovering.
+	// Unblock: the next checkpoint must succeed, and recovery must see
+	// every commit made around the failed attempts.
 	if err := os.Remove(blockMan); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Checkpoint(); err != nil {
 		t.Fatalf("checkpoint after unblocking: %v", err)
 	}
-	if _, err := d.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
-		b.AppendChild(doc.Root(), "after")
-		return nil
-	}); err != nil {
+	if err := d.Close(); err != nil {
 		t.Fatal(err)
+	}
+	reopened, err := OpenDurable(dir, DurableOptions{AutoCheckpointBytes: -1})
+	if err != nil {
+		t.Fatalf("recovery after failed checkpoints: %v", err)
+	}
+	defer reopened.Close()
+	if got := docXML(t, reopened, "books"); got != want {
+		t.Fatalf("recovered state diverged:\n got %v\nwant %v", got, want)
 	}
 }
 

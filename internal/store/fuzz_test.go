@@ -1,6 +1,8 @@
 package store
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
 	"xmldyn/internal/encoding"
@@ -74,6 +76,87 @@ func reflectEqualDocs(a, b []DocSnapshot) bool {
 		}
 	}
 	return true
+}
+
+// FuzzManifestRoundTrip feeds arbitrary bytes to the manifest decoder:
+// it must never panic, fail only with the package's typed errors, and
+// whenever it accepts the input the decoded manifest must survive a
+// marshal/unmarshal round trip unchanged. The corpus seeds both
+// version-5 manifests and version-4 ones (the migration path), so an
+// accepted input is re-marshalled with the marshaller matching its
+// version byte.
+func FuzzManifestRoundTrip(f *testing.F) {
+	f.Add(MarshalManifest(Manifest{Gen: 1, WALFirst: 1}))
+	f.Add(MarshalManifest(Manifest{Gen: 9, WALFirst: 4, Docs: []ManifestDoc{
+		{Name: "books", File: DocSnapName("books", 9, 0), Gen: 9},
+		{Name: "feeds", File: DocSnapName("feeds", 2, 0), Gen: 2},
+	}}))
+	f.Add(MarshalManifestV4(Manifest{Gen: 3, Snapshot: "snapshot-000003.xdyn", WALFirst: 7}))
+	f.Add(MarshalManifestV4(Manifest{Gen: 1, WALFirst: 1}))
+	f.Add([]byte("XDYN"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalManifest(data)
+		if err != nil {
+			requireTypedError(t, err)
+			return
+		}
+		marshal := MarshalManifest
+		if len(data) > len(magic) && data[len(magic)] == VersionManifestV4 {
+			marshal = MarshalManifestV4
+		}
+		again := marshal(m)
+		m2, err := UnmarshalManifest(again)
+		if err != nil {
+			t.Fatalf("re-marshalled manifest rejected: %v", err)
+		}
+		if m.Gen != m2.Gen || m.Snapshot != m2.Snapshot || m.WALFirst != m2.WALFirst || len(m.Docs) != len(m2.Docs) {
+			t.Fatalf("round trip changed manifest: %+v vs %+v", m, m2)
+		}
+		for i := range m.Docs {
+			if m.Docs[i] != m2.Docs[i] {
+				t.Fatalf("entry %d changed: %+v vs %+v", i, m.Docs[i], m2.Docs[i])
+			}
+		}
+	})
+}
+
+// FuzzDocSnapRoundTrip does the same for the v6 per-document snapshot
+// format (the tree payload is opaque bytes at this layer).
+func FuzzDocSnapRoundTrip(f *testing.F) {
+	f.Add(MarshalDocSnap(DocSnap{Name: "books", Scheme: "qed", Tree: []byte{1, 2, 3}}))
+	f.Add(MarshalDocSnap(DocSnap{}))
+	f.Add([]byte("XDYN"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalDocSnap(data)
+		if err != nil {
+			requireTypedError(t, err)
+			return
+		}
+		s2, err := UnmarshalDocSnap(MarshalDocSnap(s))
+		if err != nil {
+			t.Fatalf("re-marshalled snapshot rejected: %v", err)
+		}
+		if s.Name != s2.Name || s.Scheme != s2.Scheme || !bytes.Equal(s.Tree, s2.Tree) {
+			t.Fatalf("round trip changed snapshot: %+v vs %+v", s, s2)
+		}
+	})
+}
+
+// requireTypedError fails the test when a decoder rejection is not one
+// of the package's typed errors — callers triage on errors.Is, so an
+// untyped rejection is an API break.
+func requireTypedError(t *testing.T, err error) {
+	t.Helper()
+	for _, want := range []error{ErrBadMagic, ErrBadVersion, ErrCorrupt, ErrBadChecksum} {
+		if errors.Is(err, want) {
+			return
+		}
+	}
+	t.Fatalf("rejection is not a typed store error: %v", err)
 }
 
 // FuzzSnapshotRoundTrip does the same for the v1 single-document format.

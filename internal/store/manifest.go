@@ -1,26 +1,36 @@
-// Checkpoint manifests: the version-4 store record that names the
-// current on-disk generation of a durable repository — which snapshot
-// container and which suffix of the segmented write-ahead log together
-// hold the committed state. The manifest is the single source of truth
-// at recovery: OpenDurable reads it, loads the named snapshot, replays
-// the WAL segments from the recorded first live index upward, and
-// ignores every other file in the directory (orphans from a checkpoint
-// that crashed before its atomic manifest switch).
+// Checkpoint manifests: the version-5 store record that names the
+// current on-disk generation of a durable repository — which
+// per-document snapshot files and which suffix of the segmented
+// write-ahead log together hold the committed state. The manifest is
+// the single source of truth at recovery: OpenDurable reads it, loads
+// every snapshot file it names, replays the WAL segments from the
+// recorded first live index upward, and ignores every other file in
+// the directory (orphans from a checkpoint that crashed before its
+// atomic manifest switch).
 //
 // Layout (same conventions as versions 1 and 2 — LEB128 integers,
 // length-prefixed strings, FNV-1a trailer):
 //
-//	magic "XDYN" | version 4 | generation | snapshot name | first live segment index
+//	magic "XDYN" | version 5 | generation | first live segment index
+//	document count | count × (name | snapshot file | generation)
 //	trailer: FNV-1a checksum of everything before it
 //
-// Version 3 (PR 2) recorded a single WAL file name instead of the
-// segment index; it is superseded, and a version-3 manifest is
-// rejected with ErrBadVersion rather than silently migrated.
+// Version 4 (PR 3) named one whole-repository version-2 container
+// instead of per-document files; UnmarshalManifest still reads it (the
+// migration path: the first incremental checkpoint over a version-4
+// directory rewrites everything as version 5), and MarshalManifestV4
+// can still write it for tests. Version 3 (PR 2) recorded a single WAL
+// file name instead of the segment index; it is superseded, and a
+// version-3 manifest is rejected with ErrBadVersion rather than
+// silently migrated.
 //
 // WriteManifest replaces the file atomically: write to a temp file,
 // fsync it, rename over ManifestName, fsync the directory. A crash at
 // any step leaves either the old or the new manifest intact, never a
-// partial one.
+// partial one. The rename is the commit point of a checkpoint: every
+// snapshot file a manifest names is written (and fsynced) before the
+// manifest that references it, and snapshot files are never modified
+// once a manifest names them.
 
 package store
 
@@ -33,9 +43,6 @@ import (
 	"xmldyn/internal/labels"
 )
 
-// versionManifest tags checkpoint manifests.
-const versionManifest = VersionManifest
-
 // ManifestName is the manifest's fixed file name inside a durable
 // repository directory.
 const ManifestName = "MANIFEST"
@@ -46,22 +53,63 @@ type Manifest struct {
 	// by every completed checkpoint.
 	Gen uint64
 	// Snapshot is the version-2 container file holding the state as of
-	// the last checkpoint; empty for a repository that has never been
-	// checkpointed (recovery starts from an empty repository).
+	// the last checkpoint in a superseded version-4 manifest; always
+	// empty in version-5 manifests (per-document files in Docs replace
+	// it) and empty in a version-4 manifest for a repository that was
+	// never checkpointed.
 	Snapshot string
 	// WALFirst is the index of the first live write-ahead-log segment:
 	// the segments WALFirst, WALFirst+1, … (internal/wal's numbered
 	// "wal-%08d.log" files) hold every batch committed since the
-	// snapshot, and everything below WALFirst is dead history a
+	// snapshots, and everything below WALFirst is dead history a
 	// checkpoint has already folded in.
 	WALFirst uint64
+	// Docs maps every live document to its per-document snapshot file
+	// (version 5). Empty in version-4 manifests and for repositories
+	// whose only checkpointed state is the WAL itself.
+	Docs []ManifestDoc
 }
 
-// MarshalManifest encodes a manifest.
+// ManifestDoc is one document entry of a version-5 manifest.
+type ManifestDoc struct {
+	// Name is the document's repository name.
+	Name string
+	// File is the per-document snapshot file (DocSnapName) holding the
+	// document's state as of generation Gen.
+	File string
+	// Gen is the checkpoint generation that wrote File. An incremental
+	// checkpoint reuses the previous file — and its older Gen — for
+	// every document that has not changed since.
+	Gen uint64
+}
+
+// MarshalManifest encodes a manifest in the current (version 5)
+// layout. m.Snapshot is ignored: version 5 has no whole-repository
+// container field.
 func MarshalManifest(m Manifest) []byte {
 	var out []byte
 	out = append(out, magic...)
-	out = append(out, versionManifest)
+	out = append(out, VersionManifest)
+	out = append(out, labels.EncodeLEB128(m.Gen)...)
+	out = append(out, labels.EncodeLEB128(m.WALFirst)...)
+	out = append(out, labels.EncodeLEB128(uint64(len(m.Docs)))...)
+	for _, d := range m.Docs {
+		out = appendString(out, d.Name)
+		out = appendString(out, d.File)
+		out = append(out, labels.EncodeLEB128(d.Gen)...)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(out)
+	return append(out, labels.EncodeLEB128(h.Sum64())...)
+}
+
+// MarshalManifestV4 encodes a manifest in the superseded version-4
+// layout (whole-repository container, no per-document entries). It
+// exists for migration tests and fuzz corpora; m.Docs is ignored.
+func MarshalManifestV4(m Manifest) []byte {
+	var out []byte
+	out = append(out, magic...)
+	out = append(out, VersionManifestV4)
 	out = append(out, labels.EncodeLEB128(m.Gen)...)
 	out = appendString(out, m.Snapshot)
 	out = append(out, labels.EncodeLEB128(m.WALFirst)...)
@@ -70,7 +118,13 @@ func MarshalManifest(m Manifest) []byte {
 	return append(out, labels.EncodeLEB128(h.Sum64())...)
 }
 
-// UnmarshalManifest decodes a manifest, verifying the checksum.
+// minManifestDocBytes is the smallest possible encoded manifest entry:
+// two empty length-prefixed strings plus a one-byte generation.
+const minManifestDocBytes = 3
+
+// UnmarshalManifest decodes a version-5 or version-4 manifest,
+// verifying the checksum. Version 4 decodes with Docs nil and the
+// container name in Snapshot; version 5 decodes with Snapshot empty.
 func UnmarshalManifest(data []byte) (Manifest, error) {
 	var m Manifest
 	if len(data) < len(magic)+1 {
@@ -79,8 +133,9 @@ func UnmarshalManifest(data []byte) (Manifest, error) {
 	if string(data[:len(magic)]) != magic {
 		return m, ErrBadMagic
 	}
-	if data[len(magic)] != versionManifest {
-		return m, fmt.Errorf("%w: %d", ErrBadVersion, data[len(magic)])
+	ver := data[len(magic)]
+	if ver != VersionManifest && ver != VersionManifestV4 {
+		return m, fmt.Errorf("%w: %d", ErrBadVersion, ver)
 	}
 	pos := len(magic) + 1
 	gen, n, err := labels.DecodeLEB128(data[pos:])
@@ -89,8 +144,10 @@ func UnmarshalManifest(data []byte) (Manifest, error) {
 	}
 	m.Gen = gen
 	pos += n
-	if m.Snapshot, pos, err = readString(data, pos); err != nil {
-		return m, err
+	if ver == VersionManifestV4 {
+		if m.Snapshot, pos, err = readString(data, pos); err != nil {
+			return m, err
+		}
 	}
 	first, n, err := labels.DecodeLEB128(data[pos:])
 	if err != nil {
@@ -98,6 +155,38 @@ func UnmarshalManifest(data []byte) (Manifest, error) {
 	}
 	m.WALFirst = first
 	pos += n
+	if ver == VersionManifest {
+		count, n, err := labels.DecodeLEB128(data[pos:])
+		if err != nil {
+			return m, fmt.Errorf("%w: document count: %v", ErrCorrupt, err)
+		}
+		pos += n
+		if count > uint64(len(data)-pos)/minManifestDocBytes {
+			return m, fmt.Errorf("%w: implausible document count %d", ErrCorrupt, count)
+		}
+		seen := make(map[string]bool, count)
+		m.Docs = make([]ManifestDoc, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var d ManifestDoc
+			if d.Name, pos, err = readString(data, pos); err != nil {
+				return m, err
+			}
+			if d.File, pos, err = readString(data, pos); err != nil {
+				return m, err
+			}
+			g, n, err := labels.DecodeLEB128(data[pos:])
+			if err != nil {
+				return m, fmt.Errorf("%w: entry generation: %v", ErrCorrupt, err)
+			}
+			d.Gen = g
+			pos += n
+			if seen[d.Name] {
+				return m, fmt.Errorf("%w: duplicate document %q", ErrCorrupt, d.Name)
+			}
+			seen[d.Name] = true
+			m.Docs = append(m.Docs, d)
+		}
+	}
 	want, n, err := labels.DecodeLEB128(data[pos:])
 	if err != nil {
 		return m, fmt.Errorf("%w: trailer: %v", ErrCorrupt, err)

@@ -30,7 +30,7 @@ var (
 	ErrBadChecksum = errors.New("store: checksum mismatch")
 )
 
-// Format version bytes for the three store record types; docs/
+// Format version bytes for the store record types; docs/
 // DURABILITY.md documents them and the wal golden-constants test keeps
 // doc and code aligned.
 const (
@@ -38,10 +38,23 @@ const (
 	VersionSnapshot = 1
 	// VersionRepo tags multi-document repository containers.
 	VersionRepo = 2
+	// VersionManifestV4 tags the superseded whole-container checkpoint
+	// manifests (a single version-2 container plus the first live
+	// segment index). UnmarshalManifest still reads them so a
+	// pre-incremental directory migrates on its first checkpoint, but
+	// new manifests are always written as version 5.
+	VersionManifestV4 = 4
 	// VersionManifest tags durable-repository checkpoint manifests
-	// (version 4: segmented WAL, the manifest records the first live
-	// segment index; the superseded version 3 named a single log file).
-	VersionManifest = 4
+	// (version 5: incremental checkpoints — the manifest maps every
+	// live document name to a per-document snapshot file and the
+	// generation that wrote it, plus the first live segment index; the
+	// superseded version 4 named one whole-repository container, and
+	// version 3 before it named a single log file).
+	VersionManifest = 5
+	// VersionDocSnap tags per-document snapshot files (doc-*.snap),
+	// the incremental checkpoint unit referenced by version-5
+	// manifests.
+	VersionDocSnap = 6
 )
 
 const (

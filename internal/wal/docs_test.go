@@ -35,7 +35,7 @@ func TestDurabilityDocConstants(t *testing.T) {
 	// Parse `| `pkg.Name` | `value` |` table rows; the qualified-name
 	// requirement keeps non-golden tables (like the record-type layout
 	// table) out of the comparison.
-	rowRe := regexp.MustCompile("(?m)^\\|\\s*`([a-z]+\\.[A-Za-z]+)`\\s*\\|\\s*`([^`]+)`\\s*\\|")
+	rowRe := regexp.MustCompile("(?m)^\\|\\s*`([a-z]+\\.[A-Za-z0-9]+)`\\s*\\|\\s*`([^`]+)`\\s*\\|")
 	documented := make(map[string]string)
 	for _, m := range rowRe.FindAllStringSubmatch(string(data), -1) {
 		documented[m[1]] = m[2]
@@ -56,7 +56,10 @@ func TestDurabilityDocConstants(t *testing.T) {
 		"store.ManifestName":              strconv.Quote(store.ManifestName),
 		"store.VersionSnapshot":           fmt.Sprint(store.VersionSnapshot),
 		"store.VersionRepo":               fmt.Sprint(store.VersionRepo),
+		"store.VersionManifestV4":         fmt.Sprint(store.VersionManifestV4),
 		"store.VersionManifest":           fmt.Sprint(store.VersionManifest),
+		"store.VersionDocSnap":            fmt.Sprint(store.VersionDocSnap),
+		"store.DocSnapPattern":            strconv.Quote(store.DocSnapPattern),
 		"repo.RecOpen":                    fmt.Sprint(repo.RecOpen),
 		"repo.RecBatch":                   fmt.Sprint(repo.RecBatch),
 		"repo.RecDrop":                    fmt.Sprint(repo.RecDrop),

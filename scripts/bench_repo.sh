@@ -46,6 +46,7 @@ c13=$(go run ./cmd/xbench -exp C13 -quick -csv | awk -F, '
 {
 	go test -run '^$' -bench 'BenchmarkBatchVsSingleOps|BenchmarkRepoConcurrent|BenchmarkDurableCommit|BenchmarkRecovery|BenchmarkMultiBatch' \
 		-benchmem -benchtime 1s .
+	go test -run '^$' -bench 'BenchmarkIncrementalCheckpoint' -benchmem -benchtime 5x .
 	go test -run '^$' -bench 'BenchmarkSnapshotRead' -benchmem -benchtime 4x .
 	go test -run '^$' -bench 'BenchmarkSnapshotPin' -benchmem -benchtime 200x .
 } |

@@ -484,14 +484,17 @@ type (
 	// Open/Drop/Update/Batch is appended to the segmented log before
 	// the document lock is released, Checkpoint (manual, or the
 	// background auto-checkpoint once live log bytes pass the
-	// threshold) folds the log into a fresh snapshot and deletes the
-	// dead segments, and NewDurableRepository replays snapshot +
-	// segments back to the exact committed state after a crash.
+	// threshold) incrementally folds the log into per-document
+	// snapshot files — only documents that changed are rewritten — and
+	// deletes the dead segments, and NewDurableRepository replays
+	// snapshots + segments back to the exact committed state after a
+	// crash.
 	DurableRepository = repo.DurableRepository
 	// DurableOptions configures a durable repository: the inner
 	// repository options, the WAL fsync policy and flusher timing,
-	// the SegmentBytes rotation threshold, and the
-	// AutoCheckpointBytes auto-checkpoint threshold.
+	// the SegmentBytes rotation threshold, the AutoCheckpointBytes
+	// auto-checkpoint threshold, and the RecoveryParallelism worker
+	// bound for snapshot decoding and partitioned replay.
 	DurableOptions = repo.DurableOptions
 	// SyncPolicy selects when committed records reach stable storage.
 	SyncPolicy = wal.SyncPolicy
@@ -511,15 +514,18 @@ var ErrRepoClosed = repo.ErrClosed
 
 // NewDurableRepository opens (creating if necessary) the durable
 // repository stored in dir, recovering any committed state: it loads
-// the checkpoint snapshot the manifest names, replays the live
-// write-ahead-log segments on top in index order — stopping cleanly
-// at a torn tail in the newest one — and is then ready for logged
-// commits. The log rotates into fresh segments as it grows, and a
-// background auto-checkpoint (on by default; see
-// DurableOptions.AutoCheckpointBytes) folds it into a fresh snapshot
-// whenever live log bytes pass the threshold, so recovery time stays
-// bounded regardless of total history. Call Checkpoint() to fold the
-// log on demand, and Close() before discarding the repository.
+// the per-document snapshot files the manifest names (decoding them
+// concurrently, bounded by DurableOptions.RecoveryParallelism),
+// replays the live write-ahead-log segments on top in index order —
+// partitioned by document across the same worker pool, stopping
+// cleanly at a torn tail in the newest segment — and is then ready
+// for logged commits. The log rotates into fresh segments as it
+// grows, and a background auto-checkpoint (on by default; see
+// DurableOptions.AutoCheckpointBytes) folds it into fresh snapshots
+// for the documents that changed whenever live log bytes pass the
+// threshold, so recovery time stays bounded regardless of total
+// history. Call Checkpoint() to fold the log on demand, and Close()
+// before discarding the repository.
 func NewDurableRepository(dir string, opts DurableOptions) (*DurableRepository, error) {
 	return repo.OpenDurable(dir, opts)
 }
