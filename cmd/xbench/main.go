@@ -3,15 +3,18 @@
 // plus the repository-layer measurements — C9 batched transactions,
 // C10 durable-commit fsync policies, C11 recovery time under WAL
 // segmentation + auto-checkpoint, C12 multi-document transaction
-// cost (MultiBatch vs equivalent per-document batches), and C13 MVCC
-// snapshot-read throughput vs lock-held reads under writer load — as
-// measured tables.
+// cost (MultiBatch vs equivalent per-document batches), C13 MVCC
+// snapshot-read throughput vs lock-held reads under writer load, and
+// the hypothesis-driven pair behind docs/EXPERIMENTS.md — C14
+// snapshot-pin tail latency under Zipf vs uniform popularity and C15
+// incremental-checkpoint cost vs dirty-set skew — as measured tables.
 //
 // Usage:
 //
 //	xbench              # run every experiment
 //	xbench -exp C6      # run one experiment
 //	xbench -quick       # smaller workloads
+//	xbench -exp C14 -smoke  # tiniest scale, one convergence round (CI)
 //	xbench -exp C12 -csv  # machine-readable rows (bench_repo.sh uses this)
 //	xbench -exp C13 -cpuprofile cpu.pb.gz   # profile one experiment
 //	xbench -exp C13 -memprofile mem.pb.gz   # heap profile at exit
@@ -31,11 +34,13 @@ import (
 
 	"xmldyn/internal/core"
 	"xmldyn/internal/experiments"
+	"xmldyn/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (C1-C13); empty runs all")
+	exp := flag.String("exp", "", "experiment id (C1-C15); empty runs all")
 	quick := flag.Bool("quick", false, "smaller workloads")
+	smoke := flag.Bool("smoke", false, "tiniest workloads, single convergence round (CI experiment-smoke)")
 	csv := flag.Bool("csv", false, "print tables as CSV (header + rows only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -51,7 +56,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := run(strings.ToUpper(*exp), *quick, *csv)
+	err := run(strings.ToUpper(*exp), *quick, *smoke, *csv)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -74,7 +79,7 @@ func main() {
 	}
 }
 
-func run(exp string, quick, csv bool) error {
+func run(exp string, quick, smoke, csv bool) error {
 	storms := 60
 	qedOps := 10000
 	growth := []int{10, 100, 1000, 5000}
@@ -83,7 +88,14 @@ func run(exp string, quick, csv bool) error {
 	recHistories, recBatch := []int{250, 1000, 4000}, 8
 	multiTxns, multiBatch := 120, 8
 	snapReads, snapGroup := 2000, 8
+	latDocs, latOps := 64, 6000
+	ckptDocs, ckptCommits, ckptCycles := 64, 100, 8
+	ckptSkews := []float64{0, 1.1, 1.5, 2.0}
+	rule := harness.ConvergeRule{MinRounds: 3, MaxRounds: 6, Tolerance: 0.5}
 	cfg := core.DefaultProbeConfig()
+	if smoke {
+		quick = true // smoke implies the quick scale for C1-C13
+	}
 	if quick {
 		storms = 15
 		qedOps = 1500
@@ -93,7 +105,20 @@ func run(exp string, quick, csv bool) error {
 		recHistories = []int{100, 400, 1600}
 		multiTxns, multiBatch = 30, 4
 		snapReads, snapGroup = 300, 8
+		latDocs, latOps = 24, 1200
+		ckptDocs, ckptCommits, ckptCycles = 32, 40, 4
+		ckptSkews = []float64{0, 1.2, 2.0}
+		rule = harness.ConvergeRule{MinRounds: 2, MaxRounds: 3, Tolerance: 0.75}
 		cfg.BaseNodes, cfg.StormOps, cfg.SkewedOps, cfg.ZigzagOps, cfg.XPathNodes = 100, 100, 300, 100, 36
+	}
+	if smoke {
+		// One round at the tiniest scale: CI's experiment-smoke step
+		// proves the pipeline runs end to end, not that the numbers
+		// converge (a shared runner can't promise stable tails).
+		latDocs, latOps = 8, 200
+		ckptDocs, ckptCommits, ckptCycles = 8, 12, 2
+		ckptSkews = []float64{0, 2.0}
+		rule = harness.ConvergeRule{MinRounds: 1, MaxRounds: 1, Tolerance: 1}
 	}
 	runners := []struct {
 		id string
@@ -115,6 +140,10 @@ func run(exp string, quick, csv bool) error {
 		{"C11", func() (experiments.Table, error) { return experiments.C11Recovery(recHistories, recBatch) }},
 		{"C12", func() (experiments.Table, error) { return experiments.C12MultiDoc(multiTxns, multiBatch) }},
 		{"C13", func() (experiments.Table, error) { return experiments.C13SnapshotReads(snapReads, snapGroup) }},
+		{"C14", func() (experiments.Table, error) { return experiments.C14TailLatency(latDocs, latOps, rule) }},
+		{"C15", func() (experiments.Table, error) {
+			return experiments.C15CheckpointSkew(ckptDocs, ckptCommits, ckptCycles, ckptSkews, rule)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -133,7 +162,7 @@ func run(exp string, quick, csv bool) error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (C1-C13)", exp)
+		return fmt.Errorf("unknown experiment %q (C1-C15)", exp)
 	}
 	return nil
 }

@@ -4,14 +4,25 @@ import "testing"
 
 func TestRunSingleExperiments(t *testing.T) {
 	for _, exp := range []string{"C2", "C3", "C7"} {
-		if err := run(exp, true, false); err != nil {
+		if err := run(exp, true, false, false); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
-	if err := run("C7", true, true); err != nil {
+	if err := run("C7", true, false, true); err != nil {
 		t.Fatalf("C7 csv: %v", err)
 	}
-	if err := run("C99", true, false); err == nil {
+	if err := run("C99", true, false, false); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestRunSmokeExperiments exercises the hypothesis pipeline the way
+// CI's experiment-smoke step does: tiniest scale, one convergence
+// round, CSV output.
+func TestRunSmokeExperiments(t *testing.T) {
+	for _, exp := range []string{"C14", "C15"} {
+		if err := run(exp, false, true, true); err != nil {
+			t.Fatalf("%s smoke: %v", exp, err)
+		}
 	}
 }

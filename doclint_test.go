@@ -24,6 +24,8 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 		"internal/update",
 		"internal/store",
 		"internal/wal",
+		"internal/workload",
+		"internal/harness",
 	}
 	for _, dir := range dirs {
 		t.Run(filepath.ToSlash(dir), func(t *testing.T) {

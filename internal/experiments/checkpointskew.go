@@ -1,0 +1,175 @@
+// C15: the incremental-checkpoint win as a function of dirty-set
+// skew. PR 7's checkpoint rewrites only documents dirtied since the
+// previous checkpoint, so its cost should track the distinct-dirty-doc
+// count, not the corpus size: the hypothesis (docs/EXPERIMENTS.md
+// H-C15) is that concentrating the same commit budget on fewer
+// documents — Zipf-skewing the dirty set — cuts the checkpoint's p50
+// wall time at least 2× between uniform and Zipf(2.0) dirtying. A
+// checkpoint that secretly rewrote everything (the pre-PR-7 design)
+// would refute this: its cost is flat in the skew. Each skew level
+// runs several commit→checkpoint cycles so the checkpoint percentiles
+// are real distributions, with every commit's latency recorded too.
+
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"xmldyn/internal/harness"
+	"xmldyn/internal/repo"
+	"xmldyn/internal/update"
+	"xmldyn/internal/wal"
+	"xmldyn/internal/workload"
+	"xmldyn/internal/xmltree"
+)
+
+// ms renders a duration histogram stat in milliseconds.
+func msStat(st harness.OpStats, q float64) string {
+	switch q {
+	case 0.50:
+		return fmt.Sprintf("%.2f", float64(st.P50.Microseconds())/1000)
+	case 0.99:
+		return fmt.Sprintf("%.2f", float64(st.P99.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2f", float64(st.P999.Microseconds())/1000)
+	}
+}
+
+// C15CheckpointSkew runs, for each skew level, `cycles` rounds of
+// (commitsPerCycle Zipf-targeted batches → forced checkpoint) against
+// a durable repository of docsN documents, recording per-batch and
+// per-checkpoint latency and the distinct dirty-document count per
+// cycle. The convergence rule re-runs the whole sweep until the win
+// ratio — uniform checkpoint p50 over max-skew checkpoint p50 —
+// stabilises. Rows report the last round.
+func C15CheckpointSkew(docsN, commitsPerCycle, cycles int, skews []float64, rule harness.ConvergeRule) (Table, error) {
+	t := Table{
+		ID:      "C15",
+		Claim:   "incremental checkpoint cost tracks the dirty set, so skew makes checkpoints cheap (H-C15, docs/EXPERIMENTS.md)",
+		Headers: []string{"skew", "cycles", "dirty_docs", "ckpt_p50_ms", "ckpt_p99_ms", "batch_p50_us", "batch_p99_us", "batch_p999_us"},
+	}
+	if len(skews) < 2 {
+		return t, fmt.Errorf("C15 needs at least two skew levels, got %v", skews)
+	}
+	type skewRun struct {
+		rec   *harness.Recorder
+		dirty float64 // mean distinct dirty docs per cycle
+	}
+	var last map[float64]*skewRun
+	res, err := rule.Run(func(round int) (float64, error) {
+		runs := make(map[float64]*skewRun, len(skews))
+		for _, skew := range skews {
+			rec, dirty, err := runC15(skew, docsN, commitsPerCycle, cycles, int64(211+round))
+			if err != nil {
+				return 0, fmt.Errorf("skew %v: %w", skew, err)
+			}
+			runs[skew] = &skewRun{rec: rec, dirty: dirty}
+		}
+		last = runs
+		lo, hi := skews[0], skews[len(skews)-1]
+		u, uok := runs[lo].rec.Stats(workload.OpCheckpoint.String())
+		z, zok := runs[hi].rec.Stats(workload.OpCheckpoint.String())
+		if !uok || !zok || z.P50 == 0 {
+			return 0, fmt.Errorf("C15: missing checkpoint samples (lo ok=%v, hi ok=%v)", uok, zok)
+		}
+		return float64(u.P50) / float64(z.P50), nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for _, skew := range skews {
+		run := last[skew]
+		ck, _ := run.rec.Stats(workload.OpCheckpoint.String())
+		bt, _ := run.rec.Stats(workload.OpBatch.String())
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", skew),
+			fmt.Sprintf("%d", cycles),
+			fmt.Sprintf("%.1f", run.dirty),
+			msStat(ck, 0.50), msStat(ck, 0.99),
+			us(bt.P50), us(bt.P99), us(bt.P999),
+		})
+	}
+	verdict := "supported"
+	if res.Mean < 2 {
+		verdict = "refuted"
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("hypothesis H-C15: checkpoint p50 at skew 0 ≥ 2× checkpoint p50 at skew %.1f; measured win %.2fx → %s",
+			skews[len(skews)-1], res.Mean, verdict),
+		fmt.Sprintf("convergence: %d rounds, trailing spread %.2f (tolerance %.2f), converged=%v",
+			res.Rounds, res.Spread, rule.Tolerance, res.Converged),
+		fmt.Sprintf("each cycle: %d Zipf-targeted batches over %d docs, then a forced checkpoint (only dirty docs rewritten)", commitsPerCycle, docsN),
+		"dirty_docs = mean distinct documents committed per cycle — the file count the incremental checkpoint actually rewrites")
+	return t, nil
+}
+
+// runC15 executes one skew level: open docsN small documents durably,
+// checkpoint once so every baseline is clean, then run the
+// commit→checkpoint cycles with a Zipf(skew) target picker. Returns
+// the recorder and the mean distinct-dirty count per cycle.
+func runC15(skew float64, docsN, commitsPerCycle, cycles int, seed int64) (*harness.Recorder, float64, error) {
+	dir, err := os.MkdirTemp("", "xmldyn-c15-")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	d, err := repo.OpenDurable(dir, repo.DurableOptions{
+		Sync: wal.SyncAsync, SegmentBytes: 1 << 20, AutoCheckpointBytes: -1,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer d.Close()
+	name := func(i int) string { return fmt.Sprintf("doc%04d", i) }
+	for i := 0; i < docsN; i++ {
+		doc, err := xmltree.ParseString("<ledger><seed/></ledger>")
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := d.Open(name(i), doc, "qed"); err != nil {
+			return nil, 0, err
+		}
+	}
+	// First checkpoint writes every document once; from here on only
+	// dirtied documents cost anything — the property under test.
+	if err := d.Checkpoint(); err != nil {
+		return nil, 0, err
+	}
+	picker, err := workload.NewZipf(seed, docsN, skew)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec := harness.NewRecorder()
+	totalDirty := 0
+	for cycle := 0; cycle < cycles; cycle++ {
+		dirty := make(map[int]bool, docsN)
+		for c := 0; c < commitsPerCycle; c++ {
+			target := picker.Next()
+			dirty[target] = true
+			err := rec.Time(workload.OpBatch.String(), func() error {
+				_, berr := d.Batch(name(target), func(doc *xmltree.Document, b *update.Batch) error {
+					root := doc.Root()
+					for i := 0; i < 8; i++ {
+						b.AppendChild(root, "entry")
+					}
+					if kids := root.Children(); len(kids) > 64 {
+						for i := 0; i < 8; i++ {
+							b.Delete(kids[i])
+						}
+					}
+					return nil
+				})
+				return berr
+			})
+			if err != nil {
+				return nil, 0, fmt.Errorf("cycle %d commit %d: %w", cycle, c, err)
+			}
+		}
+		totalDirty += len(dirty)
+		if err := rec.Time(workload.OpCheckpoint.String(), d.Checkpoint); err != nil {
+			return nil, 0, fmt.Errorf("cycle %d checkpoint: %w", cycle, err)
+		}
+	}
+	return rec, float64(totalDirty) / float64(cycles), nil
+}

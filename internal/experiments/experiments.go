@@ -2,10 +2,15 @@
 // in DESIGN.md) as measured tables: gap/float exhaustion, DeweyID
 // relabelling cost, ORDPATH number-space waste, the LSDX collision,
 // QED's relabel-freedom, skewed growth of vector vs QED, CDBS
-// compactness, and the Figure 7 matrix analysis — plus C9, which
-// measures what the repository layer's batched transactions save in
-// order-verification passes. cmd/xbench prints the tables;
-// EXPERIMENTS.md records paper-vs-measured for each.
+// compactness, and the Figure 7 matrix analysis — plus the
+// repository-layer measurements C9-C13 and the hypothesis-driven pair
+// C14 (snapshot-pin tail latency under Zipf vs uniform popularity) and
+// C15 (incremental-checkpoint cost vs dirty-set skew), which state a
+// falsifiable hypothesis up front, drive internal/workload streams
+// through internal/harness percentile recorders, and report a
+// supported/refuted verdict under a convergence rule. cmd/xbench
+// prints the tables; EXPERIMENTS.md records paper-vs-measured for
+// C1-C8 and docs/EXPERIMENTS.md logs the C14/C15 findings.
 package experiments
 
 import (

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"xmldyn/internal/core"
+	"xmldyn/internal/harness"
 )
 
 func cell(t *testing.T, tb Table, row, col int) string {
@@ -240,4 +241,69 @@ func TestC9BatchedUpdates(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestC14TailLatency runs the snapshot-pin tail-latency experiment at
+// smoke scale: both distributions must produce rows for every timed op
+// class and the notes must carry the H-C14 verdict and convergence
+// line.
+func TestC14TailLatency(t *testing.T) {
+	rule := harnessSmokeRule()
+	tab, err := C14TailLatency(8, 160, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]map[string]bool{"uniform": {}, "zipf": {}}
+	for _, row := range tab.Rows {
+		seen[row[0]][row[1]] = true
+		if atoi(t, row[2]) <= 0 {
+			t.Errorf("row %v: zero samples", row)
+		}
+	}
+	for dist, ops := range seen {
+		for _, op := range []string{"query", "snapshot-pin", "batch", "multibatch"} {
+			if !ops[op] {
+				t.Errorf("%s: no %s row in\n%s", dist, op, tab)
+			}
+		}
+	}
+	out := tab.String()
+	for _, needle := range []string{"hypothesis H-C14", "convergence:", "per op type"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("missing %q in:\n%s", needle, out)
+		}
+	}
+}
+
+// TestC15CheckpointSkew runs the dirty-set-skew experiment at smoke
+// scale: one row per skew level, the skewed dirty set must be strictly
+// smaller than the uniform one, and the notes must carry the H-C15
+// verdict.
+func TestC15CheckpointSkew(t *testing.T) {
+	rule := harnessSmokeRule()
+	tab, err := C15CheckpointSkew(16, 24, 2, []float64{0, 2.0}, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", len(tab.Rows), tab)
+	}
+	uniformDirty, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	skewedDirty, _ := strconv.ParseFloat(tab.Rows[1][2], 64)
+	if skewedDirty >= uniformDirty {
+		t.Errorf("zipf(2.0) dirty set %.1f not smaller than uniform %.1f:\n%s", skewedDirty, uniformDirty, tab)
+	}
+	if !strings.Contains(tab.String(), "hypothesis H-C15") {
+		t.Errorf("missing verdict note:\n%s", tab)
+	}
+
+	if _, err := C15CheckpointSkew(4, 4, 1, []float64{1.0}, rule); err == nil {
+		t.Error("single skew level accepted")
+	}
+}
+
+// harnessSmokeRule is the one-round convergence rule the tiny-scale
+// experiment tests share.
+func harnessSmokeRule() harness.ConvergeRule {
+	return harness.ConvergeRule{MinRounds: 1, MaxRounds: 1, Tolerance: 1}
 }

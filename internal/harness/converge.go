@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvergeRule is the experiment discipline's stopping rule: a
+// measurement is repeated for at least MinRounds rounds and at most
+// MaxRounds, and is converged once the relative spread
+// (max−min)/|mean| over the trailing MinRounds-round window drops to
+// Tolerance or below. Single-pass experiments produce plausible but
+// wrong analyses; every hypothesis in docs/EXPERIMENTS.md names the
+// rule it ran under, and refusing to converge is itself a reported
+// result (Converged=false), never silently dropped.
+type ConvergeRule struct {
+	MinRounds int     // window size; 0 defaults to 3
+	MaxRounds int     // hard cap; 0 defaults to 2×MinRounds
+	Tolerance float64 // relative spread bound; 0 defaults to 0.25
+}
+
+// withDefaults fills zero fields with the discipline's defaults.
+func (rule ConvergeRule) withDefaults() ConvergeRule {
+	if rule.MinRounds <= 0 {
+		rule.MinRounds = 3
+	}
+	if rule.MaxRounds <= 0 {
+		rule.MaxRounds = 2 * rule.MinRounds
+	}
+	if rule.MaxRounds < rule.MinRounds {
+		rule.MaxRounds = rule.MinRounds
+	}
+	if rule.Tolerance <= 0 {
+		rule.Tolerance = 0.25
+	}
+	return rule
+}
+
+// ConvergeResult reports how a converged measurement went.
+type ConvergeResult struct {
+	Values    []float64 // every round's measurement, in order
+	Mean      float64   // mean over the final window
+	Spread    float64   // relative spread over the final window
+	Rounds    int       // rounds actually run
+	Converged bool      // spread ≤ tolerance with a full window
+}
+
+// Run repeats measure until the rule converges or MaxRounds is
+// exhausted, returning the per-round values and the final window's
+// mean. measure receives the 0-based round number; its first error
+// aborts the loop.
+func (rule ConvergeRule) Run(measure func(round int) (float64, error)) (ConvergeResult, error) {
+	rule = rule.withDefaults()
+	var res ConvergeResult
+	for round := 0; round < rule.MaxRounds; round++ {
+		v, err := measure(round)
+		if err != nil {
+			return res, fmt.Errorf("harness: round %d: %w", round, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return res, fmt.Errorf("harness: round %d measured %v", round, v)
+		}
+		res.Values = append(res.Values, v)
+		res.Rounds = round + 1
+		if len(res.Values) < rule.MinRounds {
+			continue
+		}
+		window := res.Values[len(res.Values)-rule.MinRounds:]
+		res.Mean, res.Spread = meanSpread(window)
+		if res.Spread <= rule.Tolerance {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	if len(res.Values) > 0 && res.Rounds < rule.MinRounds {
+		// The cap cut the window short (smoke runs): summarise what ran.
+		res.Mean, res.Spread = meanSpread(res.Values)
+		res.Converged = res.Spread <= rule.Tolerance
+	}
+	return res, nil
+}
+
+// meanSpread returns the mean and the relative spread (max−min)/|mean|
+// of a non-empty window; a zero mean with non-identical values reports
+// the absolute spread instead.
+func meanSpread(window []float64) (mean, spread float64) {
+	min, max := window[0], window[0]
+	for _, v := range window {
+		mean += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	mean /= float64(len(window))
+	denom := math.Abs(mean)
+	if denom == 0 {
+		denom = 1
+	}
+	return mean, (max - min) / denom
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestConvergeStable: an immediately-stable measurement converges at
+// exactly MinRounds.
+func TestConvergeStable(t *testing.T) {
+	rule := ConvergeRule{MinRounds: 3, MaxRounds: 8, Tolerance: 0.1}
+	res, err := rule.Run(func(int) (float64, error) { return 2.0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Rounds != 3 || res.Mean != 2.0 || res.Spread != 0 {
+		t.Fatalf("stable measurement: %+v", res)
+	}
+}
+
+// TestConvergeSettles: a measurement that settles after noisy early
+// rounds converges once the trailing window agrees.
+func TestConvergeSettles(t *testing.T) {
+	vals := []float64{10, 1, 5, 3.0, 3.1, 2.9}
+	rule := ConvergeRule{MinRounds: 3, MaxRounds: 10, Tolerance: 0.1}
+	res, err := rule.Run(func(round int) (float64, error) { return vals[round], nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Rounds != 6 {
+		t.Fatalf("settling measurement: %+v", res)
+	}
+	if res.Mean < 2.9 || res.Mean > 3.1 {
+		t.Fatalf("window mean: %+v", res)
+	}
+}
+
+// TestConvergeNeverSettles: a diverging measurement exhausts MaxRounds
+// and reports Converged=false — a reportable outcome, not an error.
+func TestConvergeNeverSettles(t *testing.T) {
+	rule := ConvergeRule{MinRounds: 2, MaxRounds: 4, Tolerance: 0.01}
+	v := 1.0
+	res, err := rule.Run(func(int) (float64, error) { v *= 2; return v, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Rounds != 4 || len(res.Values) != 4 {
+		t.Fatalf("diverging measurement: %+v", res)
+	}
+}
+
+// TestConvergeSmokeRule: the CI smoke rule (one round) runs once and
+// reports that single value as the mean — the tiny-scale mode the
+// experiment-smoke CI step uses.
+func TestConvergeSmokeRule(t *testing.T) {
+	rule := ConvergeRule{MinRounds: 1, MaxRounds: 1, Tolerance: 1}
+	res, err := rule.Run(func(int) (float64, error) { return 7.5, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Rounds != 1 || res.Mean != 7.5 {
+		t.Fatalf("smoke rule: %+v", res)
+	}
+}
+
+// TestConvergeErrors: measurement errors and non-finite values abort.
+func TestConvergeErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := ConvergeRule{}.Run(func(round int) (float64, error) {
+		if round == 1 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, err := (ConvergeRule{}).Run(func(int) (float64, error) { return 0, nil }); err != nil {
+		t.Fatalf("zero measurements should be fine: %v", err)
+	}
+}
+
+// TestConvergeDefaults: the zero rule fills the discipline's defaults
+// (≥3 rounds).
+func TestConvergeDefaults(t *testing.T) {
+	rounds := 0
+	res, err := ConvergeRule{}.Run(func(int) (float64, error) { rounds++; return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 || !res.Converged {
+		t.Fatalf("defaults ran %d rounds: %+v", rounds, res)
+	}
+}

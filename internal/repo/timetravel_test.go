@@ -287,3 +287,79 @@ func TestDurableSnapshotAt(t *testing.T) {
 	}
 	snap2.Close()
 }
+
+// TestRecoveryEvictsPreCrashStamps is the regression guard for the
+// recovery/time-travel interaction fixed alongside incremental
+// checkpoints: recovery replays the log with retention suppressed
+// (replayed intermediate states are not observable history — see
+// docs/CONCURRENCY.md), so a stamp captured before the crash must
+// answer ErrVersionEvicted after it, no matter how large the retention
+// window is. Before the fix, replay filled the window with
+// intermediate versions and a pre-crash stamp could silently read a
+// state no snapshot had ever been able to observe.
+func TestRecoveryEvictsPreCrashStamps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	opts := DurableOptions{AutoCheckpointBytes: -1, Repo: Options{RetainVersions: 1024}}
+	d, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString("<r><seed/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Open("a", doc, "qed"); err != nil {
+		t.Fatal(err)
+	}
+	var preCrash uint64
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			preCrash = d.Stamp() // mid-history: strictly older than the final state
+		}
+		if _, err := d.Batch("a", func(dd *xmltree.Document, b *update.Batch) error {
+			b.AppendChild(dd.Root(), "c")
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap, err := d.SnapshotAt(preCrash); err != nil {
+		t.Fatalf("pre-crash stamp unreadable before the crash: %v", err)
+	} else {
+		if got := rootChildren(t, snap, "a"); len(got) != 4 {
+			t.Fatalf("pre-crash view: %v", got)
+		}
+		snap.Close()
+	}
+	// Crash: no Close. Per-commit sync (the default) makes every batch
+	// durable, so recovery replays all ten.
+	rec, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer rec.Close()
+	if _, err := rec.SnapshotAt(preCrash); !errors.Is(err, ErrVersionEvicted) {
+		t.Fatalf("pre-crash stamp after recovery: err = %v, want ErrVersionEvicted", err)
+	}
+	// A fresh commit starts retaining again — but only post-recovery
+	// versions: the pre-crash stamp stays evicted.
+	if _, err := rec.Batch("a", func(dd *xmltree.Document, b *update.Batch) error {
+		b.AppendChild(dd.Root(), "after")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.SnapshotAt(preCrash); !errors.Is(err, ErrVersionEvicted) {
+		t.Fatalf("pre-crash stamp after post-recovery commit: err = %v, want ErrVersionEvicted", err)
+	}
+	// The recovered clock itself works: a current-stamp read sees the
+	// replayed state (seed + 10 appends + 1 post-recovery append).
+	snap, err := rec.SnapshotAt(rec.Stamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if got := rootChildren(t, snap, "a"); len(got) != 12 {
+		t.Fatalf("current view after recovery: %d children %v", len(got), got)
+	}
+}

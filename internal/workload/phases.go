@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind classifies the repository operations a phased stream emits —
+// the same classes the latency harness (internal/harness) buckets
+// percentiles by, so a stream's plan and its measurement share one
+// vocabulary.
+type OpKind int
+
+// The op classes of the phased generator.
+const (
+	// OpQuery is a lock-held read (Repository.QueryFunc).
+	OpQuery OpKind = iota
+	// OpSnapshotPin opens an MVCC snapshot, reads it, and closes it.
+	OpSnapshotPin
+	// OpBatch is a single-document batched write transaction.
+	OpBatch
+	// OpMultiBatch is an atomic cross-document write transaction.
+	OpMultiBatch
+	// OpCheckpoint forces a durable checkpoint (durable repositories
+	// only; in-memory drivers treat it as a no-op).
+	OpCheckpoint
+
+	numOpKinds = iota
+)
+
+// String names the op class — the key the latency recorder files it
+// under.
+func (k OpKind) String() string {
+	switch k {
+	case OpQuery:
+		return "query"
+	case OpSnapshotPin:
+		return "snapshot-pin"
+	case OpBatch:
+		return "batch"
+	case OpMultiBatch:
+		return "multibatch"
+	case OpCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Mix weights the op classes within a phase. Weights are relative
+// (they need not sum to 1); a zero-value field emits none of that op.
+type Mix struct {
+	Query       float64
+	SnapshotPin float64
+	Batch       float64
+	MultiBatch  float64
+	Checkpoint  float64
+}
+
+// weights returns the mix in OpKind order for cumulative sampling.
+func (m Mix) weights() [numOpKinds]float64 {
+	return [numOpKinds]float64{m.Query, m.SnapshotPin, m.Batch, m.MultiBatch, m.Checkpoint}
+}
+
+// Phase is a named stretch of a workload with a fixed op mix.
+type Phase struct {
+	Name string
+	Ops  int
+	Mix  Mix
+}
+
+// ReadMostly is the serving-steady-state phase: dominated by queries
+// and snapshot reads, with a trickle of writes.
+func ReadMostly(ops int) Phase {
+	return Phase{Name: "read-mostly", Ops: ops, Mix: Mix{Query: 0.70, SnapshotPin: 0.22, Batch: 0.08}}
+}
+
+// WriteStorm is the ingest phase: dominated by batched writes with
+// cross-document transactions mixed in, and just enough reads to keep
+// the version machinery honest.
+func WriteStorm(ops int) Phase {
+	return Phase{Name: "write-storm", Ops: ops, Mix: Mix{Query: 0.08, SnapshotPin: 0.07, Batch: 0.70, MultiBatch: 0.15}}
+}
+
+// RecoveryDrill is the operational phase: checkpoint-heavy with
+// background writes and reads — the shape an operator's compaction
+// window or a follower catch-up produces.
+func RecoveryDrill(ops int) Phase {
+	return Phase{Name: "recovery", Ops: ops, Mix: Mix{Query: 0.30, SnapshotPin: 0.10, Batch: 0.50, Checkpoint: 0.10}}
+}
+
+// Event is one operation of a generated phased stream: which phase it
+// belongs to, its op class, and the rank(s) of the document(s) it
+// targets (rank → name via the corpus the driver opened; Doc2 is only
+// meaningful for OpMultiBatch and always differs from Doc when the
+// corpus has more than one document).
+type Event struct {
+	Phase string
+	Kind  OpKind
+	Doc   int
+	Doc2  int
+}
+
+// Stream expands phases into one deterministic operation stream over
+// a corpus of docs documents whose popularity follows Zipf(skew)
+// (skew 0 = uniform). Identical arguments yield an identical stream —
+// byte-for-byte — which is what makes experiment rounds and
+// uniform-vs-skewed comparisons differ only in the variable under
+// test (docs/EXPERIMENTS.md).
+func Stream(seed int64, docs int, skew float64, phases ...Phase) ([]Event, error) {
+	if docs <= 0 {
+		return nil, fmt.Errorf("workload: stream needs docs > 0, got %d", docs)
+	}
+	picker, err := NewZipf(seed+1, docs, skew)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var events []Event
+	for _, ph := range phases {
+		w := ph.Mix.weights()
+		var cum [numOpKinds]float64
+		total := 0.0
+		for i, wi := range w {
+			if wi < 0 {
+				return nil, fmt.Errorf("workload: phase %q has negative weight for %s", ph.Name, OpKind(i))
+			}
+			total += wi
+			cum[i] = total
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("workload: phase %q has an all-zero mix", ph.Name)
+		}
+		for op := 0; op < ph.Ops; op++ {
+			u := rng.Float64() * total
+			kind := OpKind(0)
+			for i := range cum {
+				if u < cum[i] {
+					kind = OpKind(i)
+					break
+				}
+			}
+			ev := Event{Phase: ph.Name, Kind: kind, Doc: picker.Next()}
+			ev.Doc2 = ev.Doc
+			if kind == OpMultiBatch {
+				ev.Doc2 = picker.Next()
+				if ev.Doc2 == ev.Doc && docs > 1 {
+					ev.Doc2 = (ev.Doc2 + 1) % docs
+				}
+			}
+			events = append(events, ev)
+		}
+	}
+	return events, nil
+}

@@ -4,10 +4,12 @@
 # the crash-recovery timing, BenchmarkMultiBatch, the multi-document
 # transaction cost, and BenchmarkSnapshotRead, the MVCC-vs-RWMutex
 # read path), it runs the C11 recovery, C12 multi-document and C13
-# snapshot-read experiments and folds their rows in, so
-# recovery-time-vs-history, multi-vs-per-doc and MVCC-vs-lock reader
-# throughput numbers are tracked across PRs too. Run from the repo
-# root:
+# snapshot-read experiments plus the hypothesis-driven C14 (per-op
+# latency percentiles under Zipf vs uniform popularity) and C15
+# (checkpoint cost vs dirty-set skew) and folds their rows in, so
+# recovery-time-vs-history, multi-vs-per-doc, MVCC-vs-lock reader
+# throughput, tail-latency and checkpoint-skew numbers are tracked
+# across PRs too. Run from the repo root:
 #
 #	sh scripts/bench_repo.sh
 set -e
@@ -37,6 +39,22 @@ c13=$(go run ./cmd/xbench -exp C13 -quick -csv | awk -F, '
 		sep = ",\n"
 	}')
 
+# C14: per-op-type latency percentiles (µs) under uniform vs Zipf(1.2)
+# document popularity (CSV: dist,op,count,p50_us,p99_us,p999_us).
+c14=$(go run ./cmd/xbench -exp C14 -quick -csv | awk -F, '
+	NR > 1 {
+		printf "%s    {\"dist\": \"%s\", \"op\": \"%s\", \"count\": %s, \"p50_us\": %s, \"p99_us\": %s, \"p999_us\": %s}", sep, $1, $2, $3, $4, $5, $6
+		sep = ",\n"
+	}')
+
+# C15: incremental-checkpoint latency vs dirty-set skew
+# (CSV: skew,cycles,dirty_docs,ckpt_p50_ms,ckpt_p99_ms,batch_p50_us,batch_p99_us,batch_p999_us).
+c15=$(go run ./cmd/xbench -exp C15 -quick -csv | awk -F, '
+	NR > 1 {
+		printf "%s    {\"skew\": %s, \"cycles\": %s, \"dirty_docs\": %s, \"ckpt_p50_ms\": %s, \"ckpt_p99_ms\": %s, \"batch_p50_us\": %s, \"batch_p99_us\": %s, \"batch_p999_us\": %s}", sep, $1, $2, $3, $4, $5, $6, $7, $8
+		sep = ",\n"
+	}')
+
 # The contended snapshot-read rows and the pin rows run under
 # fixed-work timing (-benchtime Nx): every row performs an identical,
 # deterministic amount of work instead of whatever b.N the framework
@@ -50,7 +68,7 @@ c13=$(go run ./cmd/xbench -exp C13 -quick -csv | awk -F, '
 	go test -run '^$' -bench 'BenchmarkSnapshotRead' -benchmem -benchtime 4x .
 	go test -run '^$' -bench 'BenchmarkSnapshotPin' -benchmem -benchtime 200x .
 } |
-	awk -v c11="$c11" -v c12="$c12" -v c13="$c13" '
+	awk -v c11="$c11" -v c12="$c12" -v c13="$c13" -v c14="$c14" -v c15="$c15" '
 	/^goos:/    { goos = $2 }
 	/^goarch:/  { goarch = $2 }
 	/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
@@ -76,6 +94,8 @@ c13=$(go run ./cmd/xbench -exp C13 -quick -csv | awk -F, '
 		printf "  \"c11_recovery\": [\n%s\n  ],\n", c11
 		printf "  \"c12_multidoc\": [\n%s\n  ],\n", c12
 		printf "  \"c13_snapshot_reads\": [\n%s\n  ],\n", c13
+		printf "  \"c14_latency\": [\n%s\n  ],\n", c14
+		printf "  \"c15_checkpoint_skew\": [\n%s\n  ],\n", c15
 		printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
 	}
 	BEGIN { printf "{\n  \"suite\": \"repo\",\n  \"benchmarks\": [\n" }

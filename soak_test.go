@@ -11,6 +11,7 @@ import (
 	"xmldyn/internal/core"
 	"xmldyn/internal/repo"
 	"xmldyn/internal/update"
+	"xmldyn/internal/wal"
 	"xmldyn/internal/workload"
 	"xmldyn/internal/xmltree"
 )
@@ -177,6 +178,175 @@ func TestSoakSnapshotChurn(t *testing.T) {
 		}
 	}
 	if st := r.VersionStats(); st.LiveVersions != 0 {
+		t.Fatalf("superseded versions survived the final writes: %+v", st)
+	}
+}
+
+// TestSoakPhasedDurableWorkload drives the workload layer's phased
+// stream (read-mostly → write-storm → recovery drill, Zipf-skewed
+// document popularity) against a DurableRepository with 4 concurrent
+// workers per phase, pinning a snapshot at each phase boundary and
+// holding it open across the whole next phase — the combination the
+// hypothesis experiments (C14/C15) time and this test races. At the
+// end the MVCC gauges must settle exactly as docs/CONCURRENCY.md §4
+// promises: no open snapshots, no pinned versions, and one round of
+// final writes reclaiming every superseded version.
+func TestSoakPhasedDurableWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	const (
+		docs     = 8
+		workers  = 4
+		phaseOps = 600
+		skew     = 1.2
+	)
+	d, err := repo.OpenDurable(t.TempDir(), repo.DurableOptions{
+		Sync: wal.SyncAsync, AutoCheckpointBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	names := make([]string, docs)
+	for i := range names {
+		names[i] = fmt.Sprintf("doc%d", i)
+		doc, err := xmltree.ParseString("<r><seed/></r>")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Open(names[i], doc, "qed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := workload.Stream(404, docs, skew,
+		workload.ReadMostly(phaseOps), workload.WriteStorm(phaseOps), workload.RecoveryDrill(phaseOps/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPhase := make(map[string][]workload.Event)
+	var order []string
+	for _, ev := range events {
+		if len(byPhase[ev.Phase]) == 0 {
+			order = append(order, ev.Phase)
+		}
+		byPhase[ev.Phase] = append(byPhase[ev.Phase], ev)
+	}
+	if len(order) != 3 {
+		t.Fatalf("stream phases: %v", order)
+	}
+
+	apply := func(ev workload.Event) error {
+		name := names[ev.Doc]
+		switch ev.Kind {
+		case workload.OpQuery:
+			return d.QueryFunc(name, "//item", func([]*xmltree.Node) error { return nil })
+		case workload.OpSnapshotPin:
+			snap, err := d.Snapshot(name)
+			if err != nil {
+				return err
+			}
+			defer snap.Close()
+			_, err = snap.Query(name, "//item")
+			return err
+		case workload.OpBatch:
+			_, err := d.Batch(name, func(doc *xmltree.Document, b *update.Batch) error {
+				root := doc.Root()
+				if kids := root.Children(); len(kids) > 48 {
+					b.Delete(kids[len(kids)-1])
+				} else {
+					b.AppendChild(root, "item")
+				}
+				return nil
+			})
+			return err
+		case workload.OpMultiBatch:
+			_, err := d.MultiBatch([]string{name, names[ev.Doc2]}, func(m map[string]*repo.MultiDoc) error {
+				for _, md := range m {
+					md.Batch().AppendChild(md.Document().Root(), "multi")
+				}
+				return nil
+			})
+			return err
+		case workload.OpCheckpoint:
+			return d.Checkpoint()
+		}
+		return fmt.Errorf("unhandled op %v", ev.Kind)
+	}
+
+	// heldCounts remembers what the boundary snapshot saw at pin time;
+	// the snapshot must still answer exactly that after the next phase
+	// has mutated everything underneath it.
+	var held *repo.Snapshot
+	var heldCounts map[string]int
+	readCounts := func(snap *repo.Snapshot) (map[string]int, error) {
+		counts := make(map[string]int, docs)
+		for _, name := range names {
+			nodes, err := snap.Query(name, "//item")
+			if err != nil {
+				return nil, err
+			}
+			counts[name] = len(nodes)
+		}
+		return counts, nil
+	}
+	for _, phase := range order {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(byPhase[phase]); i += workers {
+					if err := apply(byPhase[phase][i]); err != nil {
+						t.Errorf("%s[%d]: %v", phase, i, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		if held != nil {
+			after, err := readCounts(held)
+			if err != nil {
+				t.Fatalf("held snapshot after %s: %v", phase, err)
+			}
+			for name, want := range heldCounts {
+				if after[name] != want {
+					t.Fatalf("held snapshot drifted across %s: %s %d -> %d", phase, name, want, after[name])
+				}
+			}
+			held.Close()
+		}
+		snap, err := d.Snapshot(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heldCounts, err = readCounts(snap); err != nil {
+			t.Fatal(err)
+		}
+		held = snap
+	}
+	held.Close()
+
+	st := d.VersionStats()
+	if st.OpenSnapshots != 0 || st.PinnedVersions != 0 {
+		t.Fatalf("phased soak leaked pins: %+v", st)
+	}
+	if st.LiveVersions > docs {
+		t.Fatalf("phased soak leaked versions: %+v", st)
+	}
+	for _, name := range names {
+		if _, err := d.Batch(name, func(doc *xmltree.Document, b *update.Batch) error {
+			b.AppendChild(doc.Root(), "final")
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := d.VersionStats(); st.LiveVersions != 0 {
 		t.Fatalf("superseded versions survived the final writes: %+v", st)
 	}
 }
