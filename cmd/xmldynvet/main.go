@@ -1,0 +1,125 @@
+// Command xmldynvet is the repository's invariant checker: a
+// multichecker over the custom analyzers in internal/analysis that
+// proves the concurrency and durability disciplines documented in
+// docs/CONCURRENCY.md and docs/DURABILITY.md at compile time (see
+// docs/STATIC_ANALYSIS.md for the analyzer-by-analyzer mapping).
+//
+// Two modes share the same analyzers:
+//
+//	go build -o xmldynvet ./cmd/xmldynvet
+//	go vet -vettool=./xmldynvet ./...   # vet driver: full build graph, tests included
+//	go run ./cmd/xmldynvet ./...        # standalone: non-test packages, no vet driver
+//	go run ./cmd/xmldynvet -test ./...  # standalone, test variants included
+//
+// Under -vettool the binary speaks cmd/go's vet protocol (-flags,
+// -V=full, then one vet.cfg per package); standalone it loads
+// packages itself via `go list -export`. Diagnostics print as
+// file:line:col: message (analyzer); the exit status is 2 when any
+// diagnostic is reported. Suppress a finding by annotating the line
+// (or the line above) with
+//
+//	//xmldynvet:ignore <analyzer> <justification>
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"xmldyn/internal/analysis"
+	"xmldyn/internal/analysis/frozenguard"
+	"xmldyn/internal/analysis/lockheld"
+	"xmldyn/internal/analysis/locksort"
+	"xmldyn/internal/analysis/sentinelerr"
+	"xmldyn/internal/analysis/walappend"
+)
+
+// analyzers is the active suite, in the order findings are labelled.
+var analyzers = []*analysis.Analyzer{
+	locksort.Analyzer,
+	frozenguard.Analyzer,
+	lockheld.Analyzer,
+	walappend.Analyzer,
+	sentinelerr.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	loadTests := false
+	var patterns []string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// cmd/go fingerprints the tool for its build cache; the
+			// contract is "<name> version <non-devel version>".
+			fmt.Printf("xmldynvet version %s\n", runtime.Version())
+			return
+		case arg == "-flags" || arg == "--flags":
+			// cmd/go asks which flags the tool accepts (JSON).
+			fmt.Println("[]")
+			return
+		case arg == "-test":
+			loadTests = true
+		case arg == "-help" || arg == "--help" || arg == "-h":
+			usage()
+			return
+		case strings.HasSuffix(arg, ".cfg"):
+			os.Exit(runVet(arg))
+		case strings.HasPrefix(arg, "-"):
+			fmt.Fprintf(os.Stderr, "xmldynvet: unknown flag %s\n", arg)
+			os.Exit(2)
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+	os.Exit(runStandalone(loadTests, patterns))
+}
+
+// usage prints the analyzer roster.
+func usage() {
+	fmt.Println("xmldynvet [-test] [package patterns]   # standalone")
+	fmt.Println("go vet -vettool=$(which xmldynvet) ./...  # vet driver")
+	fmt.Println("\nanalyzers:")
+	for _, a := range analyzers {
+		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+	}
+}
+
+// runVet executes one vet.cfg unit per the go vet vettool protocol.
+func runVet(cfg string) int {
+	diags, fset, err := analysis.RunVetConfig(cfg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmldynvet: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// runStandalone loads patterns via go list and analyzes each package.
+func runStandalone(tests bool, patterns []string) int {
+	pkgs, err := analysis.LoadPatterns("", tests, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmldynvet: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmldynvet: %s: %v\n", pkg.Types.Path(), err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			exit = 2
+		}
+	}
+	return exit
+}

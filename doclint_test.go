@@ -26,6 +26,14 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 		"internal/wal",
 		"internal/workload",
 		"internal/harness",
+		"internal/analysis",
+		"internal/analysis/analysistest",
+		"internal/analysis/locksort",
+		"internal/analysis/frozenguard",
+		"internal/analysis/lockheld",
+		"internal/analysis/walappend",
+		"internal/analysis/sentinelerr",
+		"cmd/xmldynvet",
 	}
 	for _, dir := range dirs {
 		t.Run(filepath.ToSlash(dir), func(t *testing.T) {

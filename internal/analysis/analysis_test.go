@@ -1,0 +1,150 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"xmldyn/internal/analysis"
+)
+
+// loadSrc type-checks one source string into a Package.
+func loadSrc(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return &analysis.Package{Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info}
+}
+
+// flagAllCalls reports every call expression, as a probe analyzer for
+// the suppression filter.
+var flagAllCalls = &analysis.Analyzer{
+	Name: "probe",
+	Doc:  "flag every call",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call flagged")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestSuppression checks the three directive shapes: justified on the
+// same line, justified on the line above, and matching a different
+// analyzer (kept).
+func TestSuppression(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func f() {}
+
+func g() {
+	f() //xmldynvet:ignore probe covered by caller
+	//xmldynvet:ignore probe covered by caller
+	f()
+	f() //xmldynvet:ignore other wrong analyzer
+	f()
+}
+`)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{flagAllCalls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (the uncovered and wrong-analyzer calls): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "probe" {
+			t.Errorf("unexpected analyzer %q", d.Analyzer)
+		}
+	}
+}
+
+// TestUnjustifiedDirective checks that a bare ignore directive is
+// itself reported and does not suppress anything.
+func TestUnjustifiedDirective(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func f() {}
+
+func g() {
+	//xmldynvet:ignore probe
+	f()
+}
+`)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{flagAllCalls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probe, ignore int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "probe":
+			probe++
+		case "ignore":
+			ignore++
+			if !strings.Contains(d.Message, "justification") {
+				t.Errorf("ignore diagnostic %q should demand a justification", d.Message)
+			}
+		}
+	}
+	if probe != 1 || ignore != 1 {
+		t.Fatalf("got probe=%d ignore=%d, want 1 and 1: %v", probe, ignore, diags)
+	}
+}
+
+// TestHeldAt checks the lexical lock model: explicit pairs, the
+// deferred-unlock idiom, and release.
+func TestHeldAt(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+import "sync"
+
+type T struct{ mu sync.RWMutex }
+
+func f(t *T) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_ = t
+}
+`)
+	var body *ast.BlockStmt
+	for _, d := range pkg.Files[0].Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			body = fd.Body
+		}
+	}
+	events := analysis.LockEvents(pkg.Info, body)
+	if len(events) != 4 {
+		t.Fatalf("got %d lock events, want 4", len(events))
+	}
+	// After the unlock but before the RLock: nothing held.
+	mid := analysis.HeldAt(events, events[2].Pos)
+	if len(mid) != 0 {
+		t.Errorf("between unlock and rlock, held = %v, want none", mid)
+	}
+	// At end of body: read side held via deferred RUnlock evidence.
+	end := analysis.HeldAt(events, body.Rbrace)
+	if op, ok := end["t.mu"]; !ok || op != analysis.OpRLock {
+		t.Errorf("at body end, held = %v, want t.mu read-held", end)
+	}
+}

@@ -1,0 +1,193 @@
+// Package analysistest runs an analyzer over golden testdata packages
+// and checks its diagnostics against want-comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only. Each analyzer keeps positive and negative cases under
+// testdata/src/<pkg>/; a line expecting a diagnostic carries a
+// trailing comment of the form
+//
+//	code() // want "regexp" ["regexp" ...]
+//
+// and the test fails on any unmatched expectation or unexpected
+// diagnostic. Testdata packages may import the standard library
+// (type-checked from GOROOT source) and sibling testdata packages by
+// bare name (type-checked recursively), so cross-package invariants —
+// sentinel errors compared across package boundaries — have real
+// package boundaries in their golden cases. Suppression directives
+// (//xmldynvet:ignore) are honoured exactly as in the real driver, so
+// the suppression path is testable too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xmldyn/internal/analysis"
+)
+
+// wantRe extracts the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<pkg> for each named package, runs a over it,
+// and reports any mismatch between diagnostics and want-comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := newLoader(testdata)
+	for _, name := range pkgs {
+		pkg, err := loader.load(name)
+		if err != nil {
+			t.Fatalf("loading testdata package %q: %v", name, err)
+		}
+		diags, err := analysis.Run(pkg.pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s over %q: %v", a.Name, name, err)
+		}
+		checkDiagnostics(t, pkg.pkg, diags)
+	}
+}
+
+// expectation is one unconsumed want-regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// checkDiagnostics matches diagnostics against the package's
+// want-comments, failing the test on either direction of mismatch.
+func checkDiagnostics(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx:], -1) {
+					pat, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, m[1], err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.re != nil && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.re = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// loader type-checks testdata packages, resolving bare-name imports to
+// sibling testdata packages and everything else to GOROOT source.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.Importer
+	cache    map[string]*loaded
+}
+
+// loaded is one type-checked testdata package.
+type loaded struct {
+	pkg *analysis.Package
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		testdata: testdata,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		cache:    make(map[string]*loaded),
+	}
+}
+
+// Import implements types.Importer over sibling-then-stdlib resolution.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if !strings.Contains(path, "/") && !strings.Contains(path, ".") {
+		if fi, err := os.Stat(filepath.Join(l.testdata, "src", path)); err == nil && fi.IsDir() {
+			p, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.pkg.Types, nil
+		}
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks testdata/src/<name>.
+func (l *loader) load(name string) (*loaded, error) {
+	if p, ok := l.cache[name]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.testdata, "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	for _, fname := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, fname), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(name, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", name, err)
+	}
+	p := &loaded{pkg: &analysis.Package{Fset: l.fset, Files: files, Types: tpkg, Info: info}}
+	l.cache[name] = p
+	return p, nil
+}

@@ -1,0 +1,13 @@
+package frozenguard_test
+
+import (
+	"testing"
+
+	"xmldyn/internal/analysis/analysistest"
+	"xmldyn/internal/analysis/frozenguard"
+)
+
+// TestFrozenGuard checks the golden cases in testdata/src/xmltree.
+func TestFrozenGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", frozenguard.Analyzer, "xmltree")
+}

@@ -1,0 +1,99 @@
+// Package xmltree is a golden-case miniature of the real xmltree
+// mutation contract: exported mutators must gate on frozen state and
+// invalidate persistent shadows with markChanged.
+package xmltree
+
+import "errors"
+
+// ErrFrozen mirrors the real frozen-version sentinel.
+var ErrFrozen = errors.New("node is frozen")
+
+// Node mirrors the real node layout: content fields plus persistence
+// bookkeeping.
+type Node struct {
+	name   string
+	value  string
+	parent *Node
+	kids   []*Node
+	frozen bool
+	shadow *Node
+}
+
+// mustThaw mirrors the real frozen gate.
+func (n *Node) mustThaw() error {
+	if n.frozen {
+		return ErrFrozen
+	}
+	return nil
+}
+
+// markChanged mirrors the real shadow invalidation.
+func (n *Node) markChanged() { n.shadow = nil }
+
+// Frozen reports the freeze state; read-only methods are exempt.
+func (n *Node) Frozen() bool { return n.frozen }
+
+// GoodSetName follows the full contract: gate, write, invalidate.
+func (n *Node) GoodSetName(name string) error {
+	if err := n.mustThaw(); err != nil {
+		return err
+	}
+	n.name = name
+	n.markChanged()
+	return nil
+}
+
+// GoodSetValueInline gates with an explicit frozen check instead of
+// mustThaw.
+func (n *Node) GoodSetValueInline(v string) error {
+	if n.frozen {
+		return ErrFrozen
+	}
+	n.value = v
+	n.markChanged()
+	return nil
+}
+
+// BadSetValue misses both the gate and the invalidation.
+func (n *Node) BadSetValue(v string) { // want "without a frozen-state gate" "without calling markChanged"
+	n.value = v
+}
+
+// BadReinsert is the PR 6 same-parent-reinsert regression class: it
+// gates on frozen but forgets markChanged, so the next PublishVersion
+// would share a subtree that has in fact changed.
+func (n *Node) BadReinsert(child *Node, at int) error { // want "without calling markChanged"
+	if n.frozen {
+		return ErrFrozen
+	}
+	kids := make([]*Node, 0, len(n.kids)+1)
+	kids = append(kids, n.kids[:at]...)
+	kids = append(kids, child)
+	kids = append(kids, n.kids[at:]...)
+	n.kids = kids
+	child.parent = n
+	return nil
+}
+
+// BadDeepWrite mutates through an alias chain without the gate.
+func (n *Node) BadDeepWrite(v string) { // want "without a frozen-state gate" "without calling markChanged"
+	k := n.kids[0]
+	k.value = v
+}
+
+// GoodClone writes only a freshly allocated node; construction is
+// exempt.
+func (n *Node) GoodClone() *Node {
+	c := &Node{}
+	c.name = n.name
+	c.value = n.value
+	return c
+}
+
+// SuppressedRestore is recovery-path surgery below the public
+// contract; the justification rides on the directive.
+//
+//xmldynvet:ignore frozenguard golden case: recovery rebuilds nodes before any version is published
+func (n *Node) SuppressedRestore(v string) {
+	n.value = v
+}

@@ -1,0 +1,140 @@
+// Standalone package loading for cmd/xmldynvet: `go list -export
+// -deps -json` supplies every package's source files plus compiled
+// export data for its dependencies, and the type checker rebuilds full
+// syntax+types for the packages under analysis from that. This is the
+// same information `go vet` hands a vettool via vet.cfg (vet.go); the
+// standalone path exists so the suite runs directly, without the vet
+// driver, in development and in analysistest-style end-to-end tests.
+
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// LoadPatterns runs `go list -export -deps -json` for patterns in dir
+// (module root; "" for the current directory), type-checks every
+// non-dependency package from source against its dependencies' export
+// data, and returns them ready for Run. With tests set, test variants
+// of the matched packages are loaded too (the synthesised .test main
+// packages are skipped).
+func LoadPatterns(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-export", "-deps", "-json"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	var pkgs []*listPackage
+	exports := make(map[string]string)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, &p)
+	}
+	var out2 []*Package
+	for _, p := range pkgs {
+		if p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") || len(p.CgoFiles) > 0 {
+			continue
+		}
+		pkg, err := checkListed(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		out2 = append(out2, pkg)
+	}
+	return out2, nil
+}
+
+// checkListed parses and type-checks one listed package against the
+// export-data map.
+func checkListed(p *listPackage, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := exportImporter(fset, p.ImportMap, exports)
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+// Import implements types.Importer.
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// exportImporter returns a types.Importer that resolves source import
+// paths through importMap (test-variant packages import their
+// package-under-test's variant) and reads compiled gc export data
+// from the files map.
+func exportImporter(fset *token.FileSet, importMap, files map[string]string) types.Importer {
+	compiled := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := files[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		return compiled.(types.ImporterFrom).ImportFrom(path, "", 0)
+	})
+}

@@ -1,0 +1,124 @@
+// Package lockheld enforces `// guarded by <mu>` field annotations
+// intra-package (docs/CONCURRENCY.md §1, docs/STATIC_ANALYSIS.md): a
+// struct field whose declaration carries that comment may only be
+// read or written where the named sibling mutex is provably held —
+// a Lock/RLock on the same base expression earlier in the function
+// (not yet unlocked), or the deferred-unlock idiom. Composite-literal
+// construction is exempt (the object is not yet shared); everything
+// else not provably under the lock is flagged. The proof is lexical
+// and intra-package by design — accesses where the lock is held by a
+// caller document that with an xmldynvet:ignore justification.
+package lockheld
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"xmldyn/internal/analysis"
+)
+
+// Analyzer flags guarded-field access without the guarding mutex held.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "fields annotated `// guarded by <mu>` may only be accessed with " +
+		"that mutex provably held (docs/CONCURRENCY.md §1)",
+	Run: run,
+}
+
+// guardedRe matches the annotation in a field's doc or line comment.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps annotated field objects to their mutex name.
+func collectGuarded(pass *analysis.Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := ""
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+						mu = m[1]
+					}
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkFunc verifies every guarded-field access in fd.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	events := analysis.LockEvents(pass.TypesInfo, fd.Body)
+	// Composite-literal keys are construction, not access.
+	litKeys := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.CompositeLit); ok {
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						litKeys[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, ok := guarded[selection.Obj()]
+		if !ok || litKeys[sel.Sel] {
+			return true
+		}
+		basePath := types.ExprString(sel.X)
+		muPath := basePath + "." + mu
+		held := analysis.HeldAt(events, sel.Pos())
+		if _, ok := held[muPath]; ok {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s; access without %s held (lock it in this function, or justify with an xmldynvet:ignore comment if a caller holds it)",
+			basePath, sel.Sel.Name, mu, muPath)
+		return true
+	})
+}

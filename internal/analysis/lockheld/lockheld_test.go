@@ -1,0 +1,13 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"xmldyn/internal/analysis/analysistest"
+	"xmldyn/internal/analysis/lockheld"
+)
+
+// TestLockHeld checks the golden cases in testdata/src/lh.
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, "testdata", lockheld.Analyzer, "lh")
+}

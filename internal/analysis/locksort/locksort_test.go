@@ -1,0 +1,13 @@
+package locksort_test
+
+import (
+	"testing"
+
+	"xmldyn/internal/analysis/analysistest"
+	"xmldyn/internal/analysis/locksort"
+)
+
+// TestLockSort checks the golden cases in testdata/src/a.
+func TestLockSort(t *testing.T) {
+	analysistest.Run(t, "testdata", locksort.Analyzer, "a")
+}

@@ -1,0 +1,145 @@
+// Package sentinelerr enforces the error-contract discipline
+// (docs/STATIC_ANALYSIS.md): exported sentinel errors (package-level
+// `var ErrX = ...` of error type) must be compared with errors.Is —
+// never with == or != across a package boundary, where wrapping
+// (fmt.Errorf with %w, as the repo and update layers do pervasively)
+// silently breaks identity comparison — and when passed to
+// fmt.Errorf they must be wrapped with %w, not stringified with
+// %v/%s, or errors.Is stops matching them downstream. Same-package
+// comparisons are left alone: a package may compare its own sentinels
+// it never wraps.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"xmldyn/internal/analysis"
+)
+
+// Analyzer flags cross-package == sentinel comparison and non-%w
+// sentinel wrapping.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc: "compare exported sentinel errors with errors.Is and wrap them " +
+		"with %w (docs/STATIC_ANALYSIS.md)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	isSentinel := func(e ast.Expr) types.Object {
+		var id *ast.Ident
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			return nil
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.Pkg() == nil || !obj.Exported() || !strings.HasPrefix(obj.Name(), "Err") {
+			return nil
+		}
+		if obj.Parent() != obj.Pkg().Scope() {
+			return nil // not package-level
+		}
+		if !types.Implements(obj.Type(), errorType) {
+			return nil
+		}
+		return obj
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if obj := isSentinel(side); obj != nil && obj.Pkg() != pass.Pkg {
+						pass.Reportf(n.OpPos,
+							"comparing the sentinel %s.%s with %s breaks once the error is wrapped; use errors.Is",
+							obj.Pkg().Name(), obj.Name(), n.Op)
+						break
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorf(pass, isSentinel, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags sentinels formatted by fmt.Errorf with a verb
+// other than %w.
+func checkErrorf(pass *analysis.Pass, isSentinel func(ast.Expr) types.Object, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		obj := isSentinel(arg)
+		if obj == nil || verbs[i] == 'w' {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"sentinel %s formatted with %%%c loses the error chain; wrap it with %%w so errors.Is keeps matching",
+			obj.Name(), verbs[i])
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive
+// argument of a Printf-style format string ('*' width/precision
+// arguments included as '*').
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Flags, width, precision; '*' consumes an argument slot.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0.123456789", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,15 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"xmldyn/internal/analysis/analysistest"
+	"xmldyn/internal/analysis/sentinelerr"
+)
+
+// TestSentinelErr checks the golden cases in testdata/src/client (the
+// consumer side) and testdata/src/sent (the defining side, where
+// same-package comparison is allowed).
+func TestSentinelErr(t *testing.T) {
+	analysistest.Run(t, "testdata", sentinelerr.Analyzer, "client", "sent")
+}

@@ -1,0 +1,51 @@
+// Package client exercises the sentinelerr golden cases against the
+// sibling package sent, across a real package boundary.
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"sent"
+)
+
+// BadEq compares sentinel identity across the package boundary.
+func BadEq(err error) bool {
+	return err == sent.ErrGone // want "use errors.Is"
+}
+
+// BadNeq compares with != across the package boundary.
+func BadNeq(err error) bool {
+	return err != sent.ErrGone // want "use errors.Is"
+}
+
+// GoodIs matches through wrapping.
+func GoodIs(err error) bool {
+	return errors.Is(err, sent.ErrGone)
+}
+
+// GoodNonSentinelEq compares a non-sentinel exported error; only
+// Err-prefixed package-level sentinels are covered.
+func GoodNonSentinelEq(err error) bool {
+	return err == sent.Oops
+}
+
+// BadWrapV stringifies the sentinel, severing the error chain.
+func BadWrapV(name string) error {
+	return fmt.Errorf("load %s: %v", name, sent.ErrStale) // want "wrap it with %w"
+}
+
+// GoodWrapW preserves the chain.
+func GoodWrapW(name string) error {
+	return fmt.Errorf("load %s: %w", name, sent.ErrGone)
+}
+
+// GoodNonSentinelWrap formats an ordinary error; %v is fine there.
+func GoodNonSentinelWrap(err error) error {
+	return fmt.Errorf("wrapped: %v", err)
+}
+
+// SuppressedEq documents a justified identity comparison.
+func SuppressedEq(err error) bool {
+	return err == sent.ErrGone //xmldynvet:ignore sentinelerr golden case: err comes from a map key, never wrapped
+}

@@ -1,0 +1,18 @@
+// Package sent exports sentinel errors for the cross-package golden
+// cases of the sentinelerr analyzer.
+package sent
+
+import "errors"
+
+// ErrGone is a sentinel callers must match with errors.Is.
+var ErrGone = errors.New("gone")
+
+// ErrStale is a second sentinel for the wrapping cases.
+var ErrStale = errors.New("stale")
+
+// Oops is exported but not Err-prefixed; it is not a sentinel.
+var Oops = errors.New("oops")
+
+// IsGone compares its own sentinel; same-package identity comparison
+// is allowed — the package knows it never wraps ErrGone internally.
+func IsGone(err error) bool { return err == ErrGone }

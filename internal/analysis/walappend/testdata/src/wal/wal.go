@@ -1,0 +1,98 @@
+// Package wal is a golden-case miniature of the durable append
+// protocol: wal.Log.Append must run under commitMu plus a serialising
+// lock (walMu, a document write lock, or blessed-acquirer evidence).
+package wal
+
+import "sync"
+
+// Log mirrors the real append-only log.
+type Log struct{ records []string }
+
+// Append appends one record.
+func (l *Log) Append(rec string) { l.records = append(l.records, rec) }
+
+// Repo mirrors the durable repository's locking fields.
+type Repo struct {
+	commitMu sync.RWMutex
+	walMu    sync.Mutex
+	log      *Log
+}
+
+// Doc mirrors a document with its write lock.
+type Doc struct{ mu sync.RWMutex }
+
+// GoodNamespace holds commitMu and walMu — the name-space record path.
+func (r *Repo) GoodNamespace(rec string) {
+	r.commitMu.RLock()
+	defer r.commitMu.RUnlock()
+	r.walMu.Lock()
+	defer r.walMu.Unlock()
+	r.log.Append(rec)
+}
+
+// GoodBatch holds commitMu and the document write lock — the batch
+// record path.
+func (r *Repo) GoodBatch(d *Doc, rec string) {
+	r.commitMu.RLock()
+	defer r.commitMu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r.log.Append(rec)
+}
+
+// lockLiveSorted stands in for the blessed multi-document acquirer.
+func (r *Repo) lockLiveSorted(docs []*Doc) {}
+
+// GoodMultiBatch holds commitMu and relies on blessed-acquirer
+// evidence for the document locks.
+func (r *Repo) GoodMultiBatch(docs []*Doc, rec string) {
+	r.commitMu.RLock()
+	defer r.commitMu.RUnlock()
+	r.lockLiveSorted(docs)
+	r.log.Append(rec)
+}
+
+// appendLocked appends with the locks held by every caller — the
+// dropLocked pattern.
+func (r *Repo) appendLocked(rec string) {
+	r.log.Append(rec)
+}
+
+// GoodCaller wraps appendLocked in the full protocol.
+func (r *Repo) GoodCaller(rec string) {
+	r.commitMu.RLock()
+	defer r.commitMu.RUnlock()
+	r.walMu.Lock()
+	defer r.walMu.Unlock()
+	r.appendLocked(rec)
+}
+
+// BadNaked appends with nothing held.
+func (r *Repo) BadNaked(rec string) {
+	r.log.Append(rec) // want "without commitMu held" "without walMu or a document write lock"
+}
+
+// BadNoSerialiser holds only commitMu; record order is unserialised.
+func (r *Repo) BadNoSerialiser(rec string) {
+	r.commitMu.RLock()
+	defer r.commitMu.RUnlock()
+	r.log.Append(rec) // want "without walMu or a document write lock"
+}
+
+// BadReadLockOnly holds the document lock in read mode; appends need
+// the write side.
+func (r *Repo) BadReadLockOnly(d *Doc, rec string) {
+	r.commitMu.RLock()
+	defer r.commitMu.RUnlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r.log.Append(rec) // want "without walMu or a document write lock"
+}
+
+// SuppressedReplay appends during single-threaded recovery, before the
+// repository is published; the justification rides on the directive.
+func (r *Repo) SuppressedReplay(recs []string) {
+	for _, rec := range recs {
+		r.log.Append(rec) //xmldynvet:ignore walappend golden case: recovery is single-threaded pre-publication
+	}
+}

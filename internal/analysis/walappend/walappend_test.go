@@ -1,0 +1,13 @@
+package walappend_test
+
+import (
+	"testing"
+
+	"xmldyn/internal/analysis/analysistest"
+	"xmldyn/internal/analysis/walappend"
+)
+
+// TestWalAppend checks the golden cases in testdata/src/wal.
+func TestWalAppend(t *testing.T) {
+	analysistest.Run(t, "testdata", walappend.Analyzer, "wal")
+}

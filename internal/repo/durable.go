@@ -198,8 +198,8 @@ type DurableRepository struct {
 	log      *wal.Log
 	gen      uint64
 	walFirst uint64 // first live segment index, as the manifest records
-	failed   error  // sticky ErrWALFailed cause, cleared by Checkpoint
-	closed   bool
+	failed   error  // sticky ErrWALFailed cause, cleared by Checkpoint; guarded by walMu
+	closed   bool   // guarded by commitMu
 
 	// ckptMu serialises whole checkpoints: Checkpoint releases
 	// commitMu between its cut, encode and switch phases, so without
@@ -929,7 +929,7 @@ func (d *DurableRepository) lockLiveSorted(names []string) ([]*Doc, error) {
 // checkFailed refuses commits after a WAL append failure. The caller
 // must hold walMu; the batch path uses the Locked variant.
 func (d *DurableRepository) checkFailed() error {
-	if d.failed != nil {
+	if d.failed != nil { //xmldynvet:ignore lockheld documented contract: every caller holds walMu (or uses checkFailedLocked)
 		return fmt.Errorf("%w: %v", ErrWALFailed, d.failed)
 	}
 	return nil
@@ -945,7 +945,7 @@ func (d *DurableRepository) checkFailedLocked() error {
 // poison records a WAL append failure (sticky until Checkpoint). The
 // caller must hold walMu; the batch path uses the Locked variant.
 func (d *DurableRepository) poison(cause error) error {
-	d.failed = cause
+	d.failed = cause //xmldynvet:ignore lockheld documented contract: every caller holds walMu (or uses poisonLocked)
 	return fmt.Errorf("%w: %v", ErrWALFailed, cause)
 }
 
@@ -1275,7 +1275,7 @@ func (d *DurableRepository) Close() error {
 		d.commitMu.Unlock()
 		return nil
 	}
-	d.closed = true
+	d.closed = true //xmldynvet:ignore lockheld commitMu is still held here; the unlock above is the early-return branch
 	err := d.log.Close()
 	// Stop the checkpointer outside commitMu: it may be blocked inside
 	// Checkpoint waiting for the lock, and will see closed once it gets

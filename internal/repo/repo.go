@@ -112,7 +112,7 @@ type Repository struct {
 
 type shard struct {
 	mu   sync.RWMutex
-	docs map[string]*Doc
+	docs map[string]*Doc // guarded by mu
 }
 
 // Doc is one named document slot. Its lock serializes writers and
@@ -168,7 +168,7 @@ func New(opts Options) *Repository {
 		r.versioning.Store(true)
 	}
 	for i := range r.shards {
-		r.shards[i].docs = make(map[string]*Doc)
+		r.shards[i].docs = make(map[string]*Doc) //xmldynvet:ignore lockheld constructor: the repository is not yet shared
 	}
 	return r
 }
@@ -276,7 +276,7 @@ func (r *Repository) Drop(name string) bool {
 		sh.mu.Unlock()
 		return false
 	}
-	delete(sh.docs, name)
+	delete(sh.docs, name) //xmldynvet:ignore lockheld sh.mu is still held here; the unlock above is the early-return branch
 	sh.mu.Unlock()
 	// Supersede the dropped document's cached version so its frozen
 	// tree is released once the last snapshot pinning it closes; open

@@ -78,7 +78,7 @@ func EncodeOps(doc *xmltree.Document, ops []Op) ([]byte, error) {
 			deleted[op.Ref] = i
 		case OpInsertSubtreeBefore, OpInsertSubtreeAfter, OpInsertSubtreeFirst, OpAppendSubtree:
 			if op.Subtree == nil {
-				return nil, fmt.Errorf("%w: op %d (%v): %v", ErrNotLogged, i, op.Kind, ErrNoTree)
+				return nil, fmt.Errorf("%w: op %d (%v): %w", ErrNotLogged, i, op.Kind, ErrNoTree)
 			}
 			if j, moved := deleted[op.Subtree]; moved {
 				out = append(out, SubtreeBackref)
