@@ -5,9 +5,11 @@
 // segmentation + auto-checkpoint, C12 multi-document transaction
 // cost (MultiBatch vs equivalent per-document batches), C13 MVCC
 // snapshot-read throughput vs lock-held reads under writer load, and
-// the hypothesis-driven pair behind docs/EXPERIMENTS.md — C14
-// snapshot-pin tail latency under Zipf vs uniform popularity and C15
-// incremental-checkpoint cost vs dirty-set skew — as measured tables.
+// the hypothesis-driven experiments behind docs/EXPERIMENTS.md — C14
+// snapshot-pin tail latency under Zipf vs uniform popularity, C15
+// incremental-checkpoint cost vs dirty-set skew, and C16 follower
+// replication lag vs leader commit rate across fsync policies — as
+// measured tables.
 //
 // Usage:
 //
@@ -38,7 +40,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (C1-C15); empty runs all")
+	exp := flag.String("exp", "", "experiment id (C1-C16); empty runs all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	smoke := flag.Bool("smoke", false, "tiniest workloads, single convergence round (CI experiment-smoke)")
 	csv := flag.Bool("csv", false, "print tables as CSV (header + rows only)")
@@ -91,6 +93,7 @@ func run(exp string, quick, smoke, csv bool) error {
 	latDocs, latOps := 64, 6000
 	ckptDocs, ckptCommits, ckptCycles := 64, 100, 8
 	ckptSkews := []float64{0, 1.1, 1.5, 2.0}
+	repDocs, repCommits, repBatch := 8, 400, 16
 	rule := harness.ConvergeRule{MinRounds: 3, MaxRounds: 6, Tolerance: 0.5}
 	cfg := core.DefaultProbeConfig()
 	if smoke {
@@ -108,6 +111,7 @@ func run(exp string, quick, smoke, csv bool) error {
 		latDocs, latOps = 24, 1200
 		ckptDocs, ckptCommits, ckptCycles = 32, 40, 4
 		ckptSkews = []float64{0, 1.2, 2.0}
+		repDocs, repCommits, repBatch = 4, 120, 8
 		rule = harness.ConvergeRule{MinRounds: 2, MaxRounds: 3, Tolerance: 0.75}
 		cfg.BaseNodes, cfg.StormOps, cfg.SkewedOps, cfg.ZigzagOps, cfg.XPathNodes = 100, 100, 300, 100, 36
 	}
@@ -118,6 +122,7 @@ func run(exp string, quick, smoke, csv bool) error {
 		latDocs, latOps = 8, 200
 		ckptDocs, ckptCommits, ckptCycles = 8, 12, 2
 		ckptSkews = []float64{0, 2.0}
+		repDocs, repCommits, repBatch = 2, 24, 4
 		rule = harness.ConvergeRule{MinRounds: 1, MaxRounds: 1, Tolerance: 1}
 	}
 	runners := []struct {
@@ -144,6 +149,9 @@ func run(exp string, quick, smoke, csv bool) error {
 		{"C15", func() (experiments.Table, error) {
 			return experiments.C15CheckpointSkew(ckptDocs, ckptCommits, ckptCycles, ckptSkews, rule)
 		}},
+		{"C16", func() (experiments.Table, error) {
+			return experiments.C16ReplicationLag(repDocs, repCommits, repBatch, rule)
+		}},
 	}
 	ran := 0
 	for _, r := range runners {
@@ -162,7 +170,7 @@ func run(exp string, quick, smoke, csv bool) error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (C1-C15)", exp)
+		return fmt.Errorf("unknown experiment %q (C1-C16)", exp)
 	}
 	return nil
 }

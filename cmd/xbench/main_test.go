@@ -20,7 +20,7 @@ func TestRunSingleExperiments(t *testing.T) {
 // CI's experiment-smoke step does: tiniest scale, one convergence
 // round, CSV output.
 func TestRunSmokeExperiments(t *testing.T) {
-	for _, exp := range []string{"C14", "C15"} {
+	for _, exp := range []string{"C14", "C15", "C16"} {
 		if err := run(exp, false, true, true); err != nil {
 			t.Fatalf("%s smoke: %v", exp, err)
 		}

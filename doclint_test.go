@@ -21,6 +21,7 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 	dirs := []string{
 		".",
 		"internal/repo",
+		"internal/replica",
 		"internal/update",
 		"internal/store",
 		"internal/wal",

@@ -59,10 +59,11 @@ func TestDocsNoDeadLinks(t *testing.T) {
 	if checked == 0 {
 		t.Fatal("no relative links found across the docs — the link regexp is broken")
 	}
-	// The hypothesis-findings log must stay present by name, not just
-	// transitively via whoever happens to still link it: CI's
-	// experiment-smoke step and internal/experiments both cite it.
-	for _, required := range []string{"docs/EXPERIMENTS.md"} {
+	// These docs must stay present by name, not just transitively via
+	// whoever happens to still link them: CI's experiment-smoke step
+	// and internal/experiments cite the findings log, and the replica
+	// package docs cite the protocol spec by section number.
+	for _, required := range []string{"docs/EXPERIMENTS.md", "docs/REPLICATION.md"} {
 		if _, err := os.Stat(required); err != nil {
 			t.Errorf("required doc %s missing: %v", required, err)
 		}

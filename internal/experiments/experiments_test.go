@@ -307,3 +307,29 @@ func TestC15CheckpointSkew(t *testing.T) {
 func harnessSmokeRule() harness.ConvergeRule {
 	return harness.ConvergeRule{MinRounds: 1, MaxRounds: 1, Tolerance: 1}
 }
+
+// TestC16ReplicationLag runs the replication-lag experiment at smoke
+// scale: one row per fsync policy, every cold-attach lag target must
+// be positive (the fresh follower genuinely had a stream to drain),
+// and the notes must carry the H-C16 verdict and the convergence line.
+func TestC16ReplicationLag(t *testing.T) {
+	rule := harnessSmokeRule()
+	tab, err := C16ReplicationLag(2, 12, 4, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per fsync policy:\n%s", len(tab.Rows), tab)
+	}
+	for _, row := range tab.Rows {
+		coldLag, _ := strconv.ParseFloat(row[8], 64)
+		if coldLag <= 0 {
+			t.Errorf("policy %s: cold-attach lag target %v not positive:\n%s", row[0], row[8], tab)
+		}
+	}
+	for _, needle := range []string{"hypothesis H-C16", "convergence:"} {
+		if !strings.Contains(tab.String(), needle) {
+			t.Errorf("missing note %q:\n%s", needle, tab)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package replica
+
+// The replication conformance suite: systematic fault injection at
+// every wire-frame boundary of a full catch-up session — dropped,
+// truncated, corrupted, duplicated and reordered frames — each run
+// proving two invariants: (1) the follower converges to the leader's
+// exact state after reconnecting, and (2) at every offset the
+// follower ACKED, its on-disk segment prefix was byte-identical to
+// the leader's committed log. The fault positions are not chosen by
+// hand: a clean probe session counts the stream's frames, and the
+// matrix then injects every fault kind at every frame index.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xmldyn/internal/repo"
+	"xmldyn/internal/wal"
+)
+
+type faultKind int
+
+const (
+	faultDrop faultKind = iota
+	faultTruncHeader
+	faultTruncBody
+	faultCorrupt
+	faultDup
+	faultReorder
+	faultKinds // count
+)
+
+func (k faultKind) String() string {
+	return [...]string{"drop", "trunc-header", "trunc-body", "corrupt", "dup", "reorder"}[k]
+}
+
+// killsConn reports whether the fault ends with the proxy severing
+// the connection (drop and truncation model a dying transport; the
+// others deliver bytes the follower itself must reject or survive).
+func (k faultKind) killsConn() bool {
+	return k == faultDrop || k == faultTruncHeader || k == faultTruncBody
+}
+
+// readRawFrame reads one whole wire frame (header + body) verbatim.
+func readRawFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, FrameHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[1:5])
+	if length > MaxMessageSize {
+		return nil, fmt.Errorf("probe: frame claims %d bytes", length)
+	}
+	buf := append(hdr, make([]byte, length)...)
+	if _, err := io.ReadFull(r, buf[FrameHeaderSize:]); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ackChecker verifies the byte-identity invariant at a single acked
+// position: every follower segment byte up to the ack must equal the
+// leader's committed log. Failures are collected, not fatal, so the
+// session goroutines can keep running.
+type ackChecker struct {
+	leaderDir   string
+	followerDir string
+	walFirst    uint64
+
+	mu   sync.Mutex
+	errs []string
+	acks int
+}
+
+func (c *ackChecker) fail(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errs = append(c.errs, fmt.Sprintf(format, args...))
+}
+
+// check compares the follower's on-disk prefix up to pos with the
+// leader's. Appends past pos are in flight and ignored; a file that
+// vanished (a re-bootstrap wipe in progress) is skipped, since the
+// ack that matters then is the one after the new install.
+func (c *ackChecker) check(pos wal.Position) {
+	c.mu.Lock()
+	c.acks++
+	first := c.walFirst
+	c.mu.Unlock()
+	for seg := first; seg <= pos.Segment; seg++ {
+		name := wal.SegmentName(seg)
+		got, err := os.ReadFile(filepath.Join(c.followerDir, name))
+		if os.IsNotExist(err) {
+			return
+		}
+		if err != nil {
+			c.fail("ack %v: reading follower %s: %v", pos, name, err)
+			return
+		}
+		want, err := os.ReadFile(filepath.Join(c.leaderDir, name))
+		if err != nil {
+			c.fail("ack %v: follower has %s, leader read: %v", pos, name, err)
+			return
+		}
+		limit := len(got)
+		if seg == pos.Segment && int(pos.Offset) < limit {
+			limit = int(pos.Offset)
+		}
+		if limit > len(want) || !reflect.DeepEqual(got[:limit], want[:limit]) {
+			c.fail("ack %v: %s prefix (%d bytes) diverges from leader", pos, name, limit)
+			return
+		}
+	}
+}
+
+func (c *ackChecker) report(t *testing.T) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.errs {
+		t.Error(e)
+	}
+}
+
+// proxySession forwards frames between follower (down) and shipper
+// (up), injecting kind at leader-to-follower frame index at, and
+// verifying the ack invariant on the return path.
+func proxySession(up, down net.Conn, kind faultKind, at int, checker *ackChecker) {
+	closeBoth := func() { up.Close(); down.Close() }
+	// Follower → leader: parse acks for the invariant, forward verbatim.
+	go func() {
+		for {
+			raw, err := readRawFrame(down)
+			if err != nil {
+				closeBoth()
+				return
+			}
+			if raw[0] == MsgAck {
+				if pos, err := parseAck(raw[FrameHeaderSize:]); err == nil {
+					checker.check(pos)
+				}
+			}
+			if _, err := up.Write(raw); err != nil {
+				closeBoth()
+				return
+			}
+		}
+	}()
+	// Leader → follower with the injected fault.
+	go func() {
+		defer closeBoth()
+		for i := 0; ; i++ {
+			raw, err := readRawFrame(up)
+			if err != nil {
+				return
+			}
+			if i != at {
+				if _, err := down.Write(raw); err != nil {
+					return
+				}
+				continue
+			}
+			switch kind {
+			case faultDrop:
+				return // frame vanishes, connection dies
+			case faultTruncHeader:
+				_, _ = down.Write(raw[:FrameHeaderSize-3])
+				return
+			case faultTruncBody:
+				_, _ = down.Write(raw[:FrameHeaderSize+(len(raw)-FrameHeaderSize)/2])
+				return
+			case faultCorrupt:
+				raw[len(raw)-1] ^= 0x40
+				if _, err := down.Write(raw); err != nil {
+					return
+				}
+			case faultDup:
+				if _, err := down.Write(raw); err != nil {
+					return
+				}
+				if _, err := down.Write(raw); err != nil {
+					return
+				}
+			case faultReorder:
+				next, err := readRawFrame(up)
+				if err != nil {
+					return
+				}
+				if _, err := down.Write(next); err != nil {
+					return
+				}
+				if _, err := down.Write(raw); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// buildConformanceLeader creates the fixed workload every matrix run
+// replicates: seeded documents, a mid-workload checkpoint (so the
+// bootstrap image is non-trivial), and enough post-checkpoint commits
+// to span several sealed segments plus a live tail.
+func buildConformanceLeader(t *testing.T) (*repo.DurableRepository, string) {
+	t.Helper()
+	dir := t.TempDir()
+	leader, err := repo.OpenDurable(dir, repo.DurableOptions{SegmentBytes: 512, AutoCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	seedLeader(t, leader, 2)
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitLeader(t, leader, 5)
+	return leader, dir
+}
+
+// probeFrameCount runs one clean session and counts leader-to-follower
+// frames until the follower converges — the matrix's fault domain.
+func probeFrameCount(t *testing.T, leader *repo.DurableRepository) int {
+	t.Helper()
+	ln := newPipeListener()
+	defer ln.Close()
+	shipper := NewShipper(leader, ShipperOptions{Heartbeat: 10 * time.Millisecond})
+	defer shipper.Close()
+	go shipper.Serve(ln)
+
+	var frames atomic.Int64
+	dial := func() (net.Conn, error) {
+		up, err := ln.Dial()
+		if err != nil {
+			return nil, err
+		}
+		client, server := net.Pipe()
+		go func() {
+			for {
+				raw, err := readRawFrame(up)
+				if err != nil {
+					server.Close()
+					up.Close()
+					return
+				}
+				frames.Add(1)
+				if _, err := server.Write(raw); err != nil {
+					up.Close()
+					return
+				}
+			}
+		}()
+		go func() {
+			_, _ = io.Copy(up, server)
+			up.Close()
+			server.Close()
+		}()
+		return client, nil
+	}
+	f, err := OpenFollower(t.TempDir(), FollowerOptions{Dial: dial, ReconnectDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Run() }()
+	waitUntil(t, 10*time.Second, "probe catch-up", func() bool { return caughtUp(leader, f) })
+	n := int(frames.Load())
+	f.Close()
+	ln.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("probe Run: %v", err)
+	}
+	if n < 10 {
+		t.Fatalf("probe saw only %d frames; workload too small for a meaningful matrix", n)
+	}
+	return n
+}
+
+// TestConformanceFaultMatrix is the tentpole suite: every fault kind
+// at every frame boundary of the catch-up stream. Each cell runs a
+// fresh follower whose FIRST connection passes through the faulty
+// proxy and whose reconnects are clean; the run must converge to the
+// leader's exact state, and every ack observed during the faulty
+// session must have been issued with a byte-identical prefix.
+func TestConformanceFaultMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix is the long conformance run")
+	}
+	leader, leaderDir := buildConformanceLeader(t)
+	frames := probeFrameCount(t, leader)
+	man := leaderManifestWALFirst(t, leaderDir)
+
+	for kind := faultKind(0); kind < faultKinds; kind++ {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for at := 0; at < frames; at++ {
+				runMatrixCell(t, leader, leaderDir, man, kind, at)
+			}
+		})
+	}
+}
+
+// leaderManifestWALFirst reads the leader's first live segment index,
+// the base of the byte-identity comparison.
+func leaderManifestWALFirst(t *testing.T, dir string) uint64 {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := uint64(0)
+	for _, e := range entries {
+		if idx, ok := wal.ParseSegmentName(e.Name()); ok && (first == 0 || idx < first) {
+			first = idx
+		}
+	}
+	if first == 0 {
+		t.Fatal("leader has no segments")
+	}
+	return first
+}
+
+// runMatrixCell executes one (fault kind, frame index) cell.
+func runMatrixCell(t *testing.T, leader *repo.DurableRepository, leaderDir string, walFirst uint64, kind faultKind, at int) {
+	t.Helper()
+	ln := newPipeListener()
+	defer ln.Close()
+	shipper := NewShipper(leader, ShipperOptions{Heartbeat: 5 * time.Millisecond})
+	defer shipper.Close()
+	go shipper.Serve(ln)
+
+	fdir := t.TempDir()
+	checker := &ackChecker{leaderDir: leaderDir, followerDir: fdir, walFirst: walFirst}
+	var dials atomic.Int64
+	dial := func() (net.Conn, error) {
+		up, err := ln.Dial()
+		if err != nil {
+			return nil, err
+		}
+		if dials.Add(1) > 1 {
+			return up, nil // reconnects are clean
+		}
+		client, server := net.Pipe()
+		proxySession(up, server, kind, at, checker)
+		return client, nil
+	}
+	f, err := OpenFollower(fdir, FollowerOptions{Dial: dial, ReconnectDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("%v@%d: %v", kind, at, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Run() }()
+	deadline := time.Now().Add(15 * time.Second)
+	for !caughtUp(leader, f) {
+		if time.Now().After(deadline) {
+			f.Close()
+			t.Fatalf("%v@%d: follower never converged (position %v, lag %d)", kind, at, f.Position(), f.Lag())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got, want := stateXML(t, f), stateXML(t, leader); !reflect.DeepEqual(got, want) {
+		t.Errorf("%v@%d: state diverged:\n got %v\nwant %v", kind, at, got, want)
+	}
+	f.Close()
+	if err := <-done; err != nil {
+		t.Errorf("%v@%d: Run: %v", kind, at, err)
+	}
+	checker.report(t)
+}

@@ -1,0 +1,142 @@
+package replica
+
+// Wire codec unit tests: framing round-trips, CRC and length
+// validation, and the per-message body codecs, pinned byte-for-byte
+// against the protocol spec (docs/REPLICATION.md §2).
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"xmldyn/internal/wal"
+)
+
+// TestFrameRoundTrip pushes every message type through a
+// writer/reader pair and checks type and body survive.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &frameWriter{w: &buf}
+	pos := wal.Position{Segment: 3, Offset: 917}
+	msgs := []struct {
+		typ  byte
+		body []byte
+	}{
+		{MsgHello, helloBody(pos)},
+		{MsgSnapBegin, snapBeginBody(7, 3, 2)},
+		{MsgSnapFile, snapFileBody("docsnap-x.xdyn", []byte("payload"))},
+		{MsgSnapEnd, []byte("raw manifest bytes")},
+		{MsgSegStart, segStartBody(4)},
+		{MsgRecord, recordBody(pos, []byte{1, 2, 3, 4})},
+		{MsgHeartbeat, heartbeatBody(pos, 12345)},
+		{MsgAck, ackBody(pos)},
+	}
+	for _, m := range msgs {
+		if err := fw.write(m.typ, m.body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := &frameReader{r: &buf}
+	for _, m := range msgs {
+		typ, body, err := fr.next()
+		if err != nil {
+			t.Fatalf("type %d: %v", m.typ, err)
+		}
+		if typ != m.typ || !bytes.Equal(body, m.body) {
+			t.Fatalf("round trip: got type %d body %x, want type %d body %x", typ, body, m.typ, m.body)
+		}
+	}
+	if _, _, err := fr.next(); err != io.EOF {
+		t.Fatalf("drained reader: %v, want EOF", err)
+	}
+}
+
+// TestFrameRejectsCorruption flips each byte class of a frame and
+// checks the reader reports ErrBadFrame (CRC) — or an implausible
+// length — rather than delivering the damaged body.
+func TestFrameRejectsCorruption(t *testing.T) {
+	frame := func() []byte {
+		var buf bytes.Buffer
+		fw := &frameWriter{w: &buf}
+		if err := fw.write(MsgRecord, []byte("some payload")); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for i := 0; i < len(frame()); i++ {
+		raw := frame()
+		raw[i] ^= 0x20
+		fr := &frameReader{r: bytes.NewReader(raw)}
+		_, _, err := fr.next()
+		if err == nil {
+			// Flipping the type byte alone leaves the CRC valid — the
+			// frame parses; the session layer rejects the wrong type.
+			if i != 0 {
+				t.Fatalf("flipped byte %d accepted", i)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrBadFrame) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+			t.Fatalf("flipped byte %d: %v, want ErrBadFrame or short read", i, err)
+		}
+	}
+}
+
+// TestFrameRejectsImplausibleLength pins the MaxMessageSize guard.
+func TestFrameRejectsImplausibleLength(t *testing.T) {
+	raw := []byte{MsgRecord, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	fr := &frameReader{r: bytes.NewReader(raw)}
+	if _, _, err := fr.next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("4 GiB frame: %v, want ErrBadFrame", err)
+	}
+}
+
+// TestHelloValidation pins the handshake error cases.
+func TestHelloValidation(t *testing.T) {
+	good := helloBody(wal.Position{Segment: 1, Offset: 5})
+	if _, err := parseHello(good); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short":         good[:10],
+		"long":          append(append([]byte(nil), good...), 0),
+		"bad magic":     append([]byte("XXXX"), good[4:]...),
+		"wrong version": append(append([]byte(nil), good[:4]...), append([]byte{99}, good[5:]...)...),
+	}
+	for name, body := range cases {
+		if _, err := parseHello(body); !errors.Is(err, ErrHandshake) {
+			t.Errorf("%s: %v, want ErrHandshake", name, err)
+		}
+	}
+}
+
+// TestBodyCodecValidation pins the short-body rejections of the
+// remaining parsers.
+func TestBodyCodecValidation(t *testing.T) {
+	if _, _, _, err := parseSnapBegin([]byte{1, 2}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short snap-begin: %v", err)
+	}
+	if _, _, err := parseSnapFile([]byte{9}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short snap-file: %v", err)
+	}
+	if _, _, err := parseSnapFile([]byte{255, 0, 'a'}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("overrunning snap-file name: %v", err)
+	}
+	if _, _, err := parseHeartbeat(make([]byte, 17)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short heartbeat: %v", err)
+	}
+	if _, err := parseSegStart(make([]byte, 7)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short seg-start: %v", err)
+	}
+	if _, err := parseAck(make([]byte, 17)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("trailing ack bytes: %v", err)
+	}
+	if _, _, err := parseRecord(make([]byte, 8)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short record: %v", err)
+	}
+	name, data, err := parseSnapFile(snapFileBody("f.xdyn", []byte("d")))
+	if err != nil || name != "f.xdyn" || string(data) != "d" {
+		t.Errorf("snap-file round trip: %q %q %v", name, data, err)
+	}
+}

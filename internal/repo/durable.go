@@ -230,6 +230,17 @@ type DurableRepository struct {
 	autoMu   sync.Mutex
 	autoRuns uint64 // completed auto-checkpoints
 	autoErr  error  // last auto-checkpoint failure, nil after a success
+
+	// Replication hooks (docs/REPLICATION.md): segment pins keep a
+	// suffix of the WAL set alive across checkpoints while a shipper
+	// streams it, and notify channels wake tailing shippers after every
+	// durable append and checkpoint cut.
+	pinMu  sync.Mutex
+	pinSeq uint64            // guarded by pinMu
+	pins   map[uint64]uint64 // pin id → lowest retained segment; guarded by pinMu
+	// notifyMu guards notify.
+	notifyMu sync.Mutex
+	notify   []chan<- struct{}
 }
 
 func snapshotFileName(gen uint64) string { return fmt.Sprintf("snapshot-%06d.xdyn", gen) }
@@ -352,6 +363,13 @@ func OpenDurable(dir string, opts DurableOptions) (*DurableRepository, error) {
 // tampering, misplaced file) fails recovery loudly rather than loading
 // a document under the wrong name.
 func (d *DurableRepository) loadDocSnaps(docs []store.ManifestDoc, workers int) error {
+	return loadDocSnapsInto(d.dir, d.repo, docs, workers)
+}
+
+// loadDocSnapsInto is the directory-level core of loadDocSnaps, shared
+// with follower-mode recovery (follower.go), which restores snapshots
+// into a repository that has no DurableRepository around it.
+func loadDocSnapsInto(dir string, repo *Repository, docs []store.ManifestDoc, workers int) error {
 	if workers > len(docs) {
 		workers = len(docs)
 	}
@@ -381,7 +399,7 @@ func (d *DurableRepository) loadDocSnaps(docs []store.ManifestDoc, workers int) 
 			if stop {
 				return
 			}
-			data, err := os.ReadFile(filepath.Join(d.dir, e.File))
+			data, err := os.ReadFile(filepath.Join(dir, e.File))
 			if err != nil {
 				fail(fmt.Errorf("snapshot %s: %v", e.File, err))
 				return
@@ -400,7 +418,7 @@ func (d *DurableRepository) loadDocSnaps(docs []store.ManifestDoc, workers int) 
 				fail(fmt.Errorf("snapshot %s: %v", e.File, err))
 				return
 			}
-			if _, err := d.repo.Open(e.Name, doc, snap.Scheme); err != nil {
+			if _, err := repo.Open(e.Name, doc, snap.Scheme); err != nil {
 				fail(fmt.Errorf("snapshot %s: %v", e.File, err))
 			}
 		}(e)
@@ -524,9 +542,12 @@ func (d *DurableRepository) autoCheckpointLoop() {
 }
 
 // nudgeAutoCheckpoint wakes the checkpointer if live log bytes passed
-// the threshold. Called by committers after a successful append, under
-// commitMu's read side (so d.log is stable); the send never blocks.
+// the threshold, and nudges replication shippers unconditionally (a
+// record just became durable for them to stream). Called by committers
+// after a successful append, under commitMu's read side (so d.log is
+// stable); the sends never block.
 func (d *DurableRepository) nudgeAutoCheckpoint() {
+	d.notifyCommit()
 	if d.ckptWake == nil || d.log.LiveBytes() < d.opts.autoCheckpointBytes() {
 		return
 	}
@@ -538,12 +559,25 @@ func (d *DurableRepository) nudgeAutoCheckpoint() {
 
 // applyRecord replays one log payload during OpenDurable.
 func (d *DurableRepository) applyRecord(payload []byte) error {
+	return applyRecordTo(d.repo, payload)
+}
+
+// applyRecordTo replays one log payload into r with NO locks taken:
+// recovery is the only writer and the repository is not yet published.
+// The follower-mode live path (follower.go) wraps the same decoding
+// with the locking a concurrently read repository needs.
+func applyRecordTo(r *Repository, payload []byte) error {
 	if len(payload) == 0 {
 		return fmt.Errorf("empty record")
 	}
 	rec, body := payload[0], payload[1:]
 	if rec == RecMulti {
-		return d.applyMultiRecord(body)
+		held, m, err := decodeMultiRecord(r, body)
+		if err != nil {
+			return err
+		}
+		_, err = applyMulti(held, m, false)
+		return err
 	}
 	name, pos, err := readRecordString(body)
 	if err != nil {
@@ -560,10 +594,10 @@ func (d *DurableRepository) applyRecord(payload []byte) error {
 		if err != nil {
 			return err
 		}
-		_, err = d.repo.Open(name, doc, scheme)
+		_, err = r.Open(name, doc, scheme)
 		return err
 	case RecBatch:
-		doc, ok := d.repo.Get(name)
+		doc, ok := r.Get(name)
 		if !ok {
 			// Cannot happen in a well-formed log: Drop holds the doc
 			// write lock while appending its record, and Batch re-checks
@@ -581,62 +615,62 @@ func (d *DurableRepository) applyRecord(payload []byte) error {
 		if len(body) != 0 {
 			return fmt.Errorf("drop record has %d trailing bytes", len(body))
 		}
-		d.repo.Drop(name)
+		r.Drop(name)
 		return nil
 	default:
 		return fmt.Errorf("unknown record type %d", rec)
 	}
 }
 
-// applyMultiRecord replays one RecMulti payload all-or-nothing: every
-// part's op program is decoded against its document's pre-transaction
-// tree before any document is touched, then the parts apply document
-// by document with staged rollbacks — a record that cannot fully
+// decodeMultiRecord decodes one RecMulti payload against r's current
+// trees: every part's op program is decoded against its document's
+// pre-transaction tree before any document is touched, so the caller
+// can apply all-or-nothing via applyMulti — a record that cannot fully
 // apply rolls back whatever prefix landed and surfaces the error
 // (which aborts recovery: a multi record the state cannot follow
-// means corruption, exactly as for RecBatch).
-func (d *DurableRepository) applyMultiRecord(body []byte) error {
+// means corruption, exactly as for RecBatch). held is in record order.
+func decodeMultiRecord(r *Repository, body []byte) ([]*Doc, map[string]*MultiDoc, error) {
 	count, pos, err := labels.DecodeLEB128(body)
 	if err != nil {
-		return fmt.Errorf("multi record count: %v", err)
+		return nil, nil, fmt.Errorf("multi record count: %v", err)
 	}
 	// Each part costs at least a name byte pair and an ops length, so
 	// bounding by len/3 rejects a crafted count before it pre-sizes
 	// the slices below.
 	if count > uint64(len(body))/3 {
-		return fmt.Errorf("implausible multi record count %d", count)
+		return nil, nil, fmt.Errorf("implausible multi record count %d", count)
 	}
 	held := make([]*Doc, 0, count)
 	m := make(map[string]*MultiDoc, count)
 	for i := uint64(0); i < count; i++ {
 		name, next, err := labels.CutString(body, pos)
 		if err != nil {
-			return fmt.Errorf("multi record part %d name: %v", i, err)
+			return nil, nil, fmt.Errorf("multi record part %d name: %v", i, err)
 		}
 		pos = next
 		n, sz, err := labels.DecodeLEB128(body[pos:])
 		if err != nil {
-			return fmt.Errorf("multi record part %d length: %v", i, err)
+			return nil, nil, fmt.Errorf("multi record part %d length: %v", i, err)
 		}
 		pos += sz
 		if n > uint64(len(body)-pos) {
-			return fmt.Errorf("multi record part %d overruns the payload", i)
+			return nil, nil, fmt.Errorf("multi record part %d overruns the payload", i)
 		}
 		enc := body[pos : pos+int(n)]
 		pos += int(n)
 		if _, dup := m[name]; dup {
-			return fmt.Errorf("multi record names %q twice", name)
+			return nil, nil, fmt.Errorf("multi record names %q twice", name)
 		}
-		doc, ok := d.repo.Get(name)
+		doc, ok := r.Get(name)
 		if !ok {
 			// Cannot happen in a well-formed log, for the same reason
 			// as RecBatch: MultiBatch re-checks membership under every
 			// involved document's write lock.
-			return fmt.Errorf("multi batch for unknown document %q", name)
+			return nil, nil, fmt.Errorf("multi batch for unknown document %q", name)
 		}
 		ops, err := update.DecodeOps(doc.sess.Document(), enc)
 		if err != nil {
-			return fmt.Errorf("multi record part %d (%q): %w", i, name, err)
+			return nil, nil, fmt.Errorf("multi record part %d (%q): %w", i, name, err)
 		}
 		b := doc.sess.Batch()
 		for _, op := range ops {
@@ -646,10 +680,9 @@ func (d *DurableRepository) applyMultiRecord(body []byte) error {
 		m[name] = &MultiDoc{doc: doc, b: b}
 	}
 	if pos != len(body) {
-		return fmt.Errorf("multi record has %d trailing bytes", len(body)-pos)
+		return nil, nil, fmt.Errorf("multi record has %d trailing bytes", len(body)-pos)
 	}
-	_, err = applyMulti(held, m, false)
-	return err
+	return held, m, nil
 }
 
 // --- mutations ---------------------------------------------------------------
@@ -1162,6 +1195,11 @@ func (d *DurableRepository) Checkpoint() error {
 		newBase[name] = docBaseline{seq: seq, doc: doc, file: file, gen: newGen}
 	}
 	d.commitMu.Unlock()
+	// Wake replication shippers: the cut created a fresh segment, and a
+	// tailing reader must hand off to it even if no commit follows (the
+	// follower mirrors segment boundaries, and its staleness bound only
+	// reaches zero once its position matches the leader's append end).
+	d.notifyCommit()
 	if ckptHooks.afterCut != nil {
 		ckptHooks.afterCut()
 	}
@@ -1245,7 +1283,7 @@ func (d *DurableRepository) Checkpoint() error {
 	// poison only if it is still the failure the cut observed — the
 	// pinned versions captured everything up to the cut, but a commit
 	// that failed DURING the encode phase diverged after it.
-	oldFirst, oldMan, oldContainer := d.walFirst, d.manDocs, d.container
+	oldMan, oldContainer := d.manDocs, d.container
 	d.gen, d.walFirst = newGen, newFirst
 	d.base, d.manDocs, d.container = newBase, entries, ""
 	d.walMu.Lock()
@@ -1253,8 +1291,20 @@ func (d *DurableRepository) Checkpoint() error {
 		d.failed = nil
 	}
 	d.walMu.Unlock()
-	for idx := oldFirst; idx < newFirst; idx++ {
-		_ = os.Remove(filepath.Join(d.dir, wal.SegmentName(idx)))
+	// Retire every segment below the new first live index that no
+	// replication pin still needs. The sweep enumerates the directory
+	// rather than the [oldFirst, newFirst) range so segments an earlier
+	// checkpoint spared for a since-released pin are retired too.
+	limit := newFirst
+	if floor := d.pinFloor(); floor < limit {
+		limit = floor
+	}
+	if entries, derr := os.ReadDir(d.dir); derr == nil {
+		for _, e := range entries {
+			if idx, ok := wal.ParseSegmentName(e.Name()); ok && idx < limit {
+				_ = os.Remove(filepath.Join(d.dir, e.Name()))
+			}
+		}
 	}
 	for _, e := range oldMan {
 		if !used[e.File] {

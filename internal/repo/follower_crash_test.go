@@ -1,0 +1,211 @@
+package repo
+
+// Bootstrap kill-point matrix for the follower: a crash is injected
+// after every externally visible step of InstallBootstrap (each
+// snapshot file, the segment wipe, the fresh log, the manifest
+// switch) by imaging the directory at that instant. Every image must
+// recover along the documented path — either it opens directly
+// (before the segment wipe the old state is intact; after the
+// manifest switch the new state is) or it fails with ErrReplay and,
+// after WipeFollowerState, reaches the leader's state via a fresh
+// bootstrap. No image may open silently wrong.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xmldyn/internal/store"
+	"xmldyn/internal/update"
+	"xmldyn/internal/wal"
+	"xmldyn/internal/xmltree"
+)
+
+// followerStateXML captures every document's serialised tree on a
+// follower, via a snapshot (the follower has no View).
+func followerStateXML(t *testing.T, f *FollowerRepository) map[string]string {
+	t.Helper()
+	snap, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	out := map[string]string{}
+	for _, name := range snap.Names() {
+		doc, err := snap.Document(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = doc.XML()
+	}
+	return out
+}
+
+func resetFollowerHooks() {
+	followerHooks.afterSnapFile = nil
+	followerHooks.afterSegments = nil
+	followerHooks.afterWAL = nil
+	followerHooks.afterManifest = nil
+}
+
+func TestFollowerBootstrapKillPoints(t *testing.T) {
+	// Leader history: checkpoint 1 (the follower's installed base),
+	// more commits, checkpoint 2 (the image being installed when the
+	// crash hits).
+	leaderDir := t.TempDir()
+	leader, err := OpenDurable(leaderDir, DurableOptions{AutoCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	seedAndBatch(t, leader, 4)
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	img1, err := store.LoadBootstrapImage(leaderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := leader.Batch("books", func(doc *xmltree.Document, b *update.Batch) error {
+			b.AppendChild(doc.Root(), fmt.Sprintf("extra%d", i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	img2, err := store.LoadBootstrapImage(leaderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := crashStateXML(t, leader)
+
+	// A follower with checkpoint 1 installed; then crash the install of
+	// checkpoint 2 at every step.
+	opts := DurableOptions{AutoCheckpointBytes: -1}
+	fdir := t.TempDir()
+	f, err := OpenFollower(fdir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InstallBootstrap(img1); err != nil {
+		t.Fatal(err)
+	}
+
+	type killPoint struct{ label, dir string }
+	var points []killPoint
+	snapCount := 0
+	followerHooks.afterSnapFile = func(file string) {
+		snapCount++
+		points = append(points, killPoint{fmt.Sprintf("after snap file %d (%s)", snapCount, file), imageDir(t, fdir)})
+	}
+	followerHooks.afterSegments = func() {
+		points = append(points, killPoint{"after segment wipe", imageDir(t, fdir)})
+	}
+	followerHooks.afterWAL = func() {
+		points = append(points, killPoint{"after fresh log", imageDir(t, fdir)})
+	}
+	followerHooks.afterManifest = func() {
+		points = append(points, killPoint{"after manifest switch", imageDir(t, fdir)})
+	}
+	defer resetFollowerHooks()
+	if err := f.InstallBootstrap(img2); err != nil {
+		t.Fatal(err)
+	}
+	resetFollowerHooks()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 4 {
+		t.Fatalf("only %d kill points captured", len(points))
+	}
+
+	for _, kp := range points {
+		rec, err := OpenFollower(kp.dir, opts)
+		if err != nil {
+			// The documented unrecoverable window (manifest pointing at
+			// wiped segments): must be exactly ErrReplay, and the wipe
+			// path must yield a working empty follower.
+			if !errors.Is(err, ErrReplay) {
+				t.Fatalf("%s: open failed with %v, want ErrReplay", kp.label, err)
+			}
+			if err := WipeFollowerState(kp.dir); err != nil {
+				t.Fatalf("%s: wipe: %v", kp.label, err)
+			}
+			if rec, err = OpenFollower(kp.dir, opts); err != nil {
+				t.Fatalf("%s: open after wipe: %v", kp.label, err)
+			}
+			if n := rec.Len(); n != 0 {
+				t.Fatalf("%s: wiped follower still holds %d documents", kp.label, n)
+			}
+		}
+		// The catch-up protocol's first step from any surviving state is
+		// a fresh bootstrap; after it the replica must equal the leader.
+		if err := rec.InstallBootstrap(img2); err != nil {
+			t.Fatalf("%s: re-bootstrap: %v", kp.label, err)
+		}
+		if got := followerStateXML(t, rec); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: state after re-bootstrap diverged:\n got %v\nwant %v", kp.label, got, want)
+		}
+		for _, name := range rec.Names() {
+			if err := rec.Verify(name); err != nil {
+				t.Fatalf("%s: verify %q: %v", kp.label, name, err)
+			}
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatalf("%s: close: %v", kp.label, err)
+		}
+	}
+}
+
+// TestFollowerRejectsNonContiguousSegment pins the regression: a
+// segment boundary that is not exactly active+1 must be rejected with
+// wal.ErrMissingSegment (wrapped), and the error must name both the
+// expected and the received segment.
+func TestFollowerRejectsNonContiguousSegment(t *testing.T) {
+	leaderDir := t.TempDir()
+	leader, err := OpenDurable(leaderDir, DurableOptions{AutoCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	seedAndBatch(t, leader, 2)
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := store.LoadBootstrapImage(leaderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFollower(t.TempDir(), DurableOptions{AutoCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.InstallBootstrap(img); err != nil {
+		t.Fatal(err)
+	}
+	active := img.Manifest.WALFirst
+	if err := f.BeginSegment(active + 2); err == nil {
+		t.Fatal("skipping a segment index was accepted")
+	} else if !errors.Is(err, wal.ErrMissingSegment) {
+		t.Fatalf("gap error = %v, want wal.ErrMissingSegment", err)
+	} else {
+		msg := err.Error()
+		for _, part := range []string{"expected", "found"} {
+			if !strings.Contains(msg, part) {
+				t.Fatalf("gap error %q does not report %s segment", msg, part)
+			}
+		}
+	}
+	// The follower is still usable after rejecting: the correct next
+	// index is accepted.
+	if err := f.BeginSegment(active + 1); err != nil {
+		t.Fatalf("contiguous boundary rejected after a gap attempt: %v", err)
+	}
+}

@@ -152,7 +152,8 @@ func listSegments(dir string, first uint64) ([]uint64, error) {
 	}
 	for i := 1; i < len(indices); i++ {
 		if indices[i] != indices[i-1]+1 {
-			return nil, fmt.Errorf("%w: %s missing", ErrMissingSegment, SegmentName(indices[i-1]+1))
+			return nil, fmt.Errorf("%w: expected %s, found %s", ErrMissingSegment,
+				SegmentName(indices[i-1]+1), SegmentName(indices[i]))
 		}
 	}
 	return indices, nil

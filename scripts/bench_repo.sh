@@ -6,10 +6,11 @@
 # read path), it runs the C11 recovery, C12 multi-document and C13
 # snapshot-read experiments plus the hypothesis-driven C14 (per-op
 # latency percentiles under Zipf vs uniform popularity) and C15
-# (checkpoint cost vs dirty-set skew) and folds their rows in, so
-# recovery-time-vs-history, multi-vs-per-doc, MVCC-vs-lock reader
-# throughput, tail-latency and checkpoint-skew numbers are tracked
-# across PRs too. Run from the repo root:
+# (checkpoint cost vs dirty-set skew) and C16 (follower replication
+# lag vs leader commit rate across fsync policies) and folds their
+# rows in, so recovery-time-vs-history, multi-vs-per-doc,
+# MVCC-vs-lock reader throughput, tail-latency, checkpoint-skew and
+# replication-lag numbers are tracked across PRs too. Run from the repo root:
 #
 #	sh scripts/bench_repo.sh
 set -e
@@ -55,6 +56,14 @@ c15=$(go run ./cmd/xbench -exp C15 -quick -csv | awk -F, '
 		sep = ",\n"
 	}')
 
+# C16: follower replication lag vs leader commit rate per fsync policy
+# (CSV: policy,commits,commit_p50_us,commit_p99_us,burst_ms,live_peak_lag,catchup_ms,norm_drain,cold_lag_bytes,cold_catchup_ms).
+c16=$(go run ./cmd/xbench -exp C16 -quick -csv | awk -F, '
+	NR > 1 {
+		printf "%s    {\"policy\": \"%s\", \"commits\": %s, \"commit_p50_us\": %s, \"commit_p99_us\": %s, \"burst_ms\": %s, \"live_peak_lag\": %s, \"catchup_ms\": %s, \"norm_drain\": %s, \"cold_lag_bytes\": %s, \"cold_catchup_ms\": %s}", sep, $1, $2, $3, $4, $5, $6, $7, $8, $9, $10
+		sep = ",\n"
+	}')
+
 # The contended snapshot-read rows and the pin rows run under
 # fixed-work timing (-benchtime Nx): every row performs an identical,
 # deterministic amount of work instead of whatever b.N the framework
@@ -68,7 +77,7 @@ c15=$(go run ./cmd/xbench -exp C15 -quick -csv | awk -F, '
 	go test -run '^$' -bench 'BenchmarkSnapshotRead' -benchmem -benchtime 4x .
 	go test -run '^$' -bench 'BenchmarkSnapshotPin' -benchmem -benchtime 200x .
 } |
-	awk -v c11="$c11" -v c12="$c12" -v c13="$c13" -v c14="$c14" -v c15="$c15" '
+	awk -v c11="$c11" -v c12="$c12" -v c13="$c13" -v c14="$c14" -v c15="$c15" -v c16="$c16" '
 	/^goos:/    { goos = $2 }
 	/^goarch:/  { goarch = $2 }
 	/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
@@ -96,6 +105,7 @@ c15=$(go run ./cmd/xbench -exp C15 -quick -csv | awk -F, '
 		printf "  \"c13_snapshot_reads\": [\n%s\n  ],\n", c13
 		printf "  \"c14_latency\": [\n%s\n  ],\n", c14
 		printf "  \"c15_checkpoint_skew\": [\n%s\n  ],\n", c15
+		printf "  \"c16_replication_lag\": [\n%s\n  ],\n", c16
 		printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
 	}
 	BEGIN { printf "{\n  \"suite\": \"repo\",\n  \"benchmarks\": [\n" }

@@ -38,7 +38,11 @@
 // committed batches survive a crash and replay to the identical
 // state, with a multi-document transaction logged as one record so
 // recovery is all-or-nothing too (docs/DURABILITY.md specifies the
-// on-disk format and recovery protocol).
+// on-disk format and recovery protocol). NewShipper and OpenFollower
+// add WAL-shipping read replicas on top of the durable layer: a
+// leader streams its log to followers that serve the same lock-free
+// MVCC snapshot reads with an explicit staleness bound
+// (docs/REPLICATION.md specifies the protocol and guarantees).
 //
 // Quick start:
 //
@@ -58,6 +62,7 @@ import (
 	"xmldyn/internal/encoding"
 	"xmldyn/internal/figures"
 	"xmldyn/internal/labeling"
+	"xmldyn/internal/replica"
 	"xmldyn/internal/repo"
 	"xmldyn/internal/store"
 	"xmldyn/internal/update"
@@ -528,4 +533,72 @@ var ErrRepoClosed = repo.ErrClosed
 // before discarding the repository.
 func NewDurableRepository(dir string, opts DurableOptions) (*DurableRepository, error) {
 	return repo.OpenDurable(dir, opts)
+}
+
+// --- replication -------------------------------------------------------------
+
+// Replication types: WAL-shipping read replicas on top of the durable
+// repository — the leader's Shipper streams sealed segments and then
+// live records to each Follower, which replays them into its own
+// durable store and serves the same lock-free MVCC snapshot reads
+// with an explicit staleness bound. The follower's applied prefix is
+// byte-identical to the leader's log at every acknowledged position,
+// so a promoted follower recovers exactly like a crashed leader.
+// docs/REPLICATION.md specifies the wire protocol, the catch-up
+// protocol and the failure matrix; docs/OPERATIONS.md §10 is the
+// staleness triage guide.
+type (
+	// Shipper is the leader side: it serves any number of follower
+	// connections from a DurableRepository's log, bootstrapping from a
+	// checkpoint when a follower is too far behind to resume, and pins
+	// WAL segments a connected follower still needs so checkpoints
+	// cannot delete them mid-backfill. Sessions exposes per-follower
+	// sent/acked positions for monitoring.
+	Shipper = replica.Shipper
+	// ShipperOptions configures a Shipper (heartbeat cadence).
+	ShipperOptions = replica.ShipperOptions
+	// ShipperSessionInfo is one follower session's observability
+	// snapshot (Shipper.Sessions): sent and durably-acked positions,
+	// and whether the session began with a checkpoint bootstrap.
+	ShipperSessionInfo = replica.SessionInfo
+	// Follower is a live read replica: Run drives the session loop
+	// (reconnect on transient failures, wipe-and-rebootstrap on
+	// divergence), while Snapshot/SnapshotAt serve lock-free reads at
+	// any time and Lag/AppliedStamp bound their staleness explicitly —
+	// Lag is the stream distance to the leader's last advertised
+	// durable end, in bytes; 0 means caught up.
+	Follower = replica.Follower
+	// FollowerOptions configures a Follower: its local durable-store
+	// options, the Dial function reaching the leader, and the
+	// reconnect/ack cadences.
+	FollowerOptions = replica.FollowerOptions
+)
+
+// ErrShipperClosed reports an operation on a closed Shipper.
+var ErrShipperClosed = replica.ErrShipperClosed
+
+// ErrFollowerDiverged reports a replicated record that contradicts
+// the follower's local state — the leader and follower histories have
+// forked (e.g. the follower's async-policy store lost a tail the
+// leader kept). The Follower.Run loop recovers by wiping its state
+// and re-bootstrapping from a leader checkpoint
+// (docs/REPLICATION.md §5).
+var ErrFollowerDiverged = repo.ErrDiverged
+
+// NewShipper wraps a durable repository with the leader side of
+// replication. Serve accepts followers from a net.Listener;
+// HandleConn serves a single externally-dialled connection. Close the
+// shipper before closing the repository.
+func NewShipper(d *DurableRepository, opts ShipperOptions) *Shipper {
+	return replica.NewShipper(d, opts)
+}
+
+// OpenFollower opens (or creates) follower state at dir and returns
+// the replica handle. Run connects via opts.Dial and keeps the
+// follower converging toward the leader until Close; reads work at
+// any point in that lifecycle. The follower applies records under its
+// own fsync policy (opts.Store.Sync), so its durability window is its
+// own choice, independent of the leader's.
+func OpenFollower(dir string, opts FollowerOptions) (*Follower, error) {
+	return replica.OpenFollower(dir, opts)
 }
